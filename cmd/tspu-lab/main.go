@@ -1,0 +1,130 @@
+// Command tspu-lab regenerates the paper's tables and figures against a
+// freshly built lab. Each experiment gets its own deterministic lab so runs
+// are independent and reproducible:
+//
+//	tspu-lab -list
+//	tspu-lab -exp table1,fig4
+//	tspu-lab -exp all -seed 7 -endpoints 4000 -ases 160
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"tspusim"
+	"tspusim/internal/hostnet"
+	"tspusim/internal/netem"
+	"tspusim/internal/tlsx"
+	"tspusim/internal/topo"
+)
+
+func main() {
+	var (
+		exp       = flag.String("exp", "all", "comma-separated experiment IDs, or 'all'")
+		list      = flag.Bool("list", false, "list experiment IDs and exit")
+		seed      = flag.Uint64("seed", 1, "lab seed")
+		endpoints = flag.Int("endpoints", 2000, "RU endpoint population (paper: 4,005,138)")
+		ases      = flag.Int("ases", 40, "endpoint AS count (paper: 4,986)")
+		echo      = flag.Int("echo", 140, "echo server count (paper: 1,404)")
+		tranco    = flag.Int("tranco", 2000, "Tranco list size (paper: 11,325)")
+		registry  = flag.Int("registry", 2000, "registry sample size (paper: 10,000)")
+		pcapPath  = flag.String("pcap", "", "write a Fig. 2-style SNI-I blocking capture to this .pcap file and exit")
+		outDir    = flag.String("out", "", "also write each experiment's output to <dir>/<id>.txt")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, e := range tspusim.Experiments() {
+			fmt.Printf("%-10s %-45s %s\n", e.ID, e.Title, e.Paper)
+		}
+		return
+	}
+
+	if *pcapPath != "" {
+		if err := writeBlockingPCAP(*pcapPath, *seed); err != nil {
+			fmt.Fprintln(os.Stderr, "pcap:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s (open in Wireshark: the ServerHello comes back as RST/ACK)\n", *pcapPath)
+		return
+	}
+
+	ids := tspusim.IDs()
+	if *exp != "all" {
+		ids = strings.Split(*exp, ",")
+	}
+	opts := tspusim.Options{
+		Seed:      *seed,
+		Endpoints: *endpoints,
+		ASes:      *ases,
+		EchoServers: func() int {
+			if *echo > 0 {
+				return *echo
+			}
+			return 140
+		}(),
+		TrancoN:   *tranco,
+		RegistryN: *registry,
+	}
+
+	failed := false
+	for _, id := range ids {
+		id = strings.TrimSpace(id)
+		if id == "" {
+			continue
+		}
+		lab := tspusim.NewLab(opts)
+		out, err := tspusim.Run(lab, id)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "error:", err)
+			failed = true
+			continue
+		}
+		fmt.Println(out)
+		if *outDir != "" {
+			if err := os.MkdirAll(*outDir, 0o755); err != nil {
+				fmt.Fprintln(os.Stderr, "out:", err)
+				failed = true
+				continue
+			}
+			path := fmt.Sprintf("%s/%s.txt", *outDir, id)
+			if err := os.WriteFile(path, []byte(out+"\n"), 0o644); err != nil {
+				fmt.Fprintln(os.Stderr, "out:", err)
+				failed = true
+			}
+		}
+	}
+	if failed {
+		os.Exit(1)
+	}
+}
+
+// writeBlockingPCAP captures an SNI-I blocking exchange on the vantage's
+// device link and writes it as a real pcap file.
+func writeBlockingPCAP(path string, seed uint64) error {
+	lab := tspusim.NewLab(tspusim.Options{Seed: seed, Endpoints: 40, ASes: 4, TrancoN: 100, RegistryN: 100})
+	v := lab.Vantages[topo.ERTelecom]
+	cap := netem.NewCapture("fig2")
+	v.SymLink.Tap(cap)
+
+	lab.US1.Listen(443, hostnet.ListenOptions{
+		OnData: func(c *hostnet.TCPConn, d []byte) {
+			c.Send([]byte("SERVERHELLO....."))
+			c.Send([]byte("CERTIFICATE....."))
+		},
+	})
+	conn := v.Stack.Dial(lab.US1.Addr(), 443, hostnet.DialOptions{})
+	ch := (&tlsx.ClientHelloSpec{ServerName: "twitter.com"}).Build()
+	conn.OnEstablished = func() { conn.Send(ch) }
+	lab.Sim.Run()
+
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	// Include entries so both sides of the device's rewrite are visible.
+	return cap.WritePCAP(f, true)
+}

@@ -1,0 +1,91 @@
+// Command tspu-registry works with blocking-registry dumps in the z-i
+// format the paper sampled (§6.1): generate a synthetic dump, query a
+// domain the way the public CAPTCHA-gated registry allows, or list entries
+// added since a date.
+//
+//	tspu-registry -gen dump.csv -n 10000
+//	tspu-registry -load dump.csv -query twitter.com
+//	tspu-registry -load dump.csv -since 2022-02-24
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"tspusim/internal/registry"
+	"tspusim/internal/sim"
+	"tspusim/internal/workload"
+)
+
+func main() {
+	var (
+		gen   = flag.String("gen", "", "generate a synthetic dump to this file")
+		n     = flag.Int("n", 10000, "entries to generate")
+		seed  = flag.Uint64("seed", 1, "generation seed")
+		load  = flag.String("load", "", "load a dump file")
+		query = flag.String("query", "", "look up one domain (singular query)")
+		since = flag.String("since", "", "list entries added on/after YYYY-MM-DD")
+	)
+	flag.Parse()
+
+	switch {
+	case *gen != "":
+		rng := sim.NewRand(*seed)
+		ds := workload.GenRegistry(rng, workload.RegistryOptions{N: *n})
+		dump := registry.Marshal(registry.FromWorkload(rng, ds))
+		if err := os.WriteFile(*gen, dump, 0o644); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wrote %s (%d entries)\n", *gen, *n)
+
+	case *load != "":
+		f, err := os.Open(*load)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		entries, err := registry.Parse(f)
+		if err != nil {
+			fatal(err)
+		}
+		switch {
+		case *query != "":
+			hits := registry.Lookup(entries, *query)
+			if len(hits) == 0 {
+				fmt.Printf("%s: not in registry\n", *query)
+				return
+			}
+			for _, e := range hits {
+				fmt.Printf("%s  added=%s  agency=%s  order=%s  ips=%v\n",
+					e.Domain, e.Added.Format("2006-01-02"), e.Agency, e.Order, e.IPs)
+			}
+		case *since != "":
+			t, err := time.Parse("2006-01-02", *since)
+			if err != nil {
+				fatal(err)
+			}
+			recent := registry.AddedSince(entries, t)
+			fmt.Printf("%d of %d entries added since %s\n", len(recent), len(entries), *since)
+			for i, e := range recent {
+				if i >= 20 {
+					fmt.Printf("... and %d more\n", len(recent)-20)
+					break
+				}
+				fmt.Printf("%s  %s\n", e.Added.Format("2006-01-02"), e.Domain)
+			}
+		default:
+			fmt.Printf("%d entries\n", len(entries))
+		}
+
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "tspu-registry:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,57 @@
+// Command tspu-trace runs traceroutes from the Paris measurement machine to
+// TSPU-positive endpoints and emits the Fig. 10/11 visualization as Graphviz
+// DOT (TSPU links in red):
+//
+//	tspu-trace -seed 3 -endpoints 400 -dot out.dot
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"tspusim"
+	"tspusim/internal/measure"
+)
+
+func main() {
+	var (
+		seed      = flag.Uint64("seed", 1, "lab seed")
+		endpoints = flag.Int("endpoints", 400, "RU endpoint population")
+		ases      = flag.Int("ases", 20, "endpoint AS count")
+		dotPath   = flag.String("dot", "", "write the traceroute graph as Graphviz DOT to this file")
+		topoPath  = flag.String("topo", "", "write the lab topology (Fig. 1 style) as Graphviz DOT to this file")
+	)
+	flag.Parse()
+
+	lab := tspusim.NewLab(tspusim.Options{
+		Seed: *seed, Endpoints: *endpoints, ASes: *ases,
+		TrancoN: 100, RegistryN: 100,
+	})
+
+	fmt.Println("scanning endpoint population for TSPU devices...")
+	scan := measure.FragScan(lab, false, true)
+	study := measure.RunTracerouteStudy(lab, scan)
+
+	fmt.Print(study.Render(lab.PaperScale()))
+	fmt.Print(scan.HopHist.String())
+	fmt.Printf("within two hops of destination: %.1f%% (paper: ~69%%)\n",
+		100*scan.HopHist.FracAtOrBelow(2))
+
+	if *topoPath != "" {
+		if err := os.WriteFile(*topoPath, []byte(lab.TopologyDOT(false)), 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "writing topology DOT:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s (render with: neato -Tsvg %s)\n", *topoPath, *topoPath)
+	}
+
+	if *dotPath != "" {
+		if err := os.WriteFile(*dotPath, []byte(study.DOT), 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "writing DOT:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s (%d traceroutes; render with: dot -Tsvg %s)\n",
+			*dotPath, len(study.Traces), *dotPath)
+	}
+}

@@ -1,0 +1,57 @@
+// Quickstart: build a lab, try to fetch a censored site from a Russian
+// vantage point, and watch the TSPU rewrite the response into RST/ACKs —
+// then do the same with an innocuous SNI and see it work.
+package main
+
+import (
+	"fmt"
+
+	"tspusim"
+	"tspusim/internal/hostnet"
+	"tspusim/internal/tlsx"
+	"tspusim/internal/topo"
+	"tspusim/internal/tspu"
+)
+
+func main() {
+	lab := tspusim.NewLab(tspusim.Options{Seed: 1, Endpoints: 50, ASes: 5, TrancoN: 100, RegistryN: 100})
+
+	// A TLS server on the US measurement machine.
+	lab.US1.Listen(443, hostnet.ListenOptions{
+		OnData: func(c *hostnet.TCPConn, data []byte) {
+			c.Send([]byte("ServerHello + Certificate ..."))
+		},
+	})
+
+	fetch := func(domain string) {
+		v := lab.Vantages[topo.ERTelecom]
+		conn := v.Stack.Dial(lab.US1.Addr(), 443, hostnet.DialOptions{})
+		ch := (&tlsx.ClientHelloSpec{ServerName: domain}).Build()
+		conn.OnEstablished = func() { conn.Send(ch) }
+		lab.Sim.Run()
+
+		fmt.Printf("SNI=%-16s -> ", domain)
+		switch {
+		case conn.ResetSeen:
+			fmt.Println("connection reset by the TSPU (SNI-I: payload stripped, flags -> RST/ACK)")
+		case len(conn.Received) > 0:
+			fmt.Printf("OK, got %q\n", conn.Received)
+		default:
+			fmt.Println("silence")
+		}
+		conn.Close()
+	}
+
+	fmt.Println("== quickstart: a Russian residential client fetching TLS sites ==")
+	fetch("twitter.com")   // SNI-I (+ SNI-IV backup)
+	fetch("meduza.io")     // SNI-I
+	fetch("example.org")   // control: not censored
+	fetch("wikipedia.org") // control: not censored
+
+	// Central policy update: Roskomnadzor adds a domain; every device in
+	// every ISP enforces it instantly — the paper's "centralized control
+	// over decentralized networks".
+	fmt.Println("\n== pushing a policy update to all TSPU devices ==")
+	lab.Controller.Update(func(p *tspu.Policy) { p.SNI1Domains.Add("example.org") })
+	fetch("example.org")
+}

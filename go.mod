@@ -1,0 +1,3 @@
+module tspusim
+
+go 1.22

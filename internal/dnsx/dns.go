@@ -1,0 +1,191 @@
+// Package dnsx is a minimal DNS substrate: wire-format message encoding and
+// decoding for A queries/responses, and a resolver server that runs on a
+// hostnet stack. It exists because Russian ISPs' own censorship — the
+// baseline the paper compares the TSPU against in §6 — is blockpage-based
+// DNS manipulation at the ISP resolver.
+package dnsx
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"net/netip"
+	"strings"
+)
+
+// Errors returned by Decode.
+var (
+	ErrTruncated = errors.New("dnsx: truncated message")
+	ErrBadName   = errors.New("dnsx: malformed name")
+)
+
+// Message is a simplified DNS message: one question, zero or more A answers.
+type Message struct {
+	ID       uint16
+	Response bool
+	RCode    uint8
+	Question string
+	QType    uint16 // 1 = A
+	Answers  []Answer
+}
+
+// Answer is one A record.
+type Answer struct {
+	Name string
+	TTL  uint32
+	Addr netip.Addr
+}
+
+// QTypeA is the A record query type.
+const QTypeA uint16 = 1
+
+// NewQuery builds an A query for name.
+func NewQuery(id uint16, name string) *Message {
+	return &Message{ID: id, Question: name, QType: QTypeA}
+}
+
+// Respond builds a response to m answering with addrs.
+func (m *Message) Respond(addrs ...netip.Addr) *Message {
+	r := &Message{ID: m.ID, Response: true, Question: m.Question, QType: m.QType}
+	for _, a := range addrs {
+		r.Answers = append(r.Answers, Answer{Name: m.Question, TTL: 300, Addr: a})
+	}
+	return r
+}
+
+// RespondNXDomain builds an NXDOMAIN response to m.
+func (m *Message) RespondNXDomain() *Message {
+	return &Message{ID: m.ID, Response: true, RCode: 3, Question: m.Question, QType: m.QType}
+}
+
+// Encode serializes the message to DNS wire format (no compression).
+func (m *Message) Encode() ([]byte, error) {
+	var b []byte
+	b = binary.BigEndian.AppendUint16(b, m.ID)
+	var flags uint16
+	if m.Response {
+		flags |= 0x8000
+	}
+	flags |= uint16(m.RCode) & 0x000f
+	b = binary.BigEndian.AppendUint16(b, flags)
+	b = binary.BigEndian.AppendUint16(b, 1)                      // QDCOUNT
+	b = binary.BigEndian.AppendUint16(b, uint16(len(m.Answers))) // ANCOUNT
+	b = binary.BigEndian.AppendUint16(b, 0)                      // NSCOUNT
+	b = binary.BigEndian.AppendUint16(b, 0)                      // ARCOUNT
+	qn, err := encodeName(m.Question)
+	if err != nil {
+		return nil, err
+	}
+	b = append(b, qn...)
+	b = binary.BigEndian.AppendUint16(b, m.QType)
+	b = binary.BigEndian.AppendUint16(b, 1) // IN
+	for _, a := range m.Answers {
+		an, err := encodeName(a.Name)
+		if err != nil {
+			return nil, err
+		}
+		b = append(b, an...)
+		b = binary.BigEndian.AppendUint16(b, QTypeA)
+		b = binary.BigEndian.AppendUint16(b, 1)
+		b = binary.BigEndian.AppendUint32(b, a.TTL)
+		b = binary.BigEndian.AppendUint16(b, 4)
+		v4 := a.Addr.As4()
+		b = append(b, v4[:]...)
+	}
+	return b, nil
+}
+
+// Decode parses a DNS wire-format message produced by Encode.
+func Decode(b []byte) (*Message, error) {
+	if len(b) < 12 {
+		return nil, ErrTruncated
+	}
+	m := &Message{
+		ID:       binary.BigEndian.Uint16(b[0:2]),
+		Response: b[2]&0x80 != 0,
+		RCode:    b[3] & 0x0f,
+	}
+	qd := binary.BigEndian.Uint16(b[4:6])
+	an := binary.BigEndian.Uint16(b[6:8])
+	off := 12
+	if qd != 1 {
+		return nil, fmt.Errorf("dnsx: unsupported QDCOUNT %d", qd)
+	}
+	name, n, err := decodeName(b, off)
+	if err != nil {
+		return nil, err
+	}
+	m.Question = name
+	off += n
+	if off+4 > len(b) {
+		return nil, ErrTruncated
+	}
+	m.QType = binary.BigEndian.Uint16(b[off : off+2])
+	off += 4
+	for i := 0; i < int(an); i++ {
+		aname, n, err := decodeName(b, off)
+		if err != nil {
+			return nil, err
+		}
+		off += n
+		if off+10 > len(b) {
+			return nil, ErrTruncated
+		}
+		typ := binary.BigEndian.Uint16(b[off : off+2])
+		ttl := binary.BigEndian.Uint32(b[off+4 : off+8])
+		rdlen := int(binary.BigEndian.Uint16(b[off+8 : off+10]))
+		off += 10
+		if off+rdlen > len(b) {
+			return nil, ErrTruncated
+		}
+		if typ == QTypeA && rdlen == 4 {
+			m.Answers = append(m.Answers, Answer{
+				Name: aname,
+				TTL:  ttl,
+				Addr: netip.AddrFrom4([4]byte(b[off : off+4])),
+			})
+		}
+		off += rdlen
+	}
+	return m, nil
+}
+
+func encodeName(name string) ([]byte, error) {
+	name = strings.TrimSuffix(name, ".")
+	if name == "" {
+		return []byte{0}, nil
+	}
+	var b []byte
+	for _, label := range strings.Split(name, ".") {
+		if len(label) == 0 || len(label) > 63 {
+			return nil, fmt.Errorf("%w: label %q", ErrBadName, label)
+		}
+		b = append(b, byte(len(label)))
+		b = append(b, label...)
+	}
+	return append(b, 0), nil
+}
+
+func decodeName(b []byte, off int) (string, int, error) {
+	var labels []string
+	n := 0
+	for {
+		if off+n >= len(b) {
+			return "", 0, ErrTruncated
+		}
+		l := int(b[off+n])
+		n++
+		if l == 0 {
+			break
+		}
+		if l > 63 {
+			return "", 0, fmt.Errorf("%w: compression not supported", ErrBadName)
+		}
+		if off+n+l > len(b) {
+			return "", 0, ErrTruncated
+		}
+		labels = append(labels, string(b[off+n:off+n+l]))
+		n += l
+	}
+	return strings.Join(labels, "."), n, nil
+}

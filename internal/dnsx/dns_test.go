@@ -1,0 +1,153 @@
+package dnsx
+
+import (
+	"errors"
+	"net/netip"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"tspusim/internal/hostnet"
+	"tspusim/internal/netem"
+	"tspusim/internal/packet"
+	"tspusim/internal/sim"
+)
+
+func TestQueryRoundTrip(t *testing.T) {
+	q := NewQuery(42, "blocked.example.ru")
+	wire, err := q.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := Decode(wire)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.ID != 42 || m.Response || m.Question != "blocked.example.ru" || m.QType != QTypeA {
+		t.Fatalf("decoded = %+v", m)
+	}
+}
+
+func TestResponseRoundTrip(t *testing.T) {
+	q := NewQuery(7, "site.ru")
+	r := q.Respond(netip.MustParseAddr("192.0.2.80"), netip.MustParseAddr("192.0.2.81"))
+	wire, err := r.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := Decode(wire)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !m.Response || len(m.Answers) != 2 {
+		t.Fatalf("decoded = %+v", m)
+	}
+	if m.Answers[0].Addr != netip.MustParseAddr("192.0.2.80") {
+		t.Fatalf("answer = %v", m.Answers[0])
+	}
+}
+
+func TestNXDomain(t *testing.T) {
+	q := NewQuery(9, "nope.ru")
+	r := q.RespondNXDomain()
+	wire, _ := r.Encode()
+	m, err := Decode(wire)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.RCode != 3 || len(m.Answers) != 0 {
+		t.Fatalf("decoded = %+v", m)
+	}
+}
+
+func TestBadNames(t *testing.T) {
+	long := make([]byte, 70)
+	for i := range long {
+		long[i] = 'a'
+	}
+	q := NewQuery(1, string(long)+".com")
+	if _, err := q.Encode(); !errors.Is(err, ErrBadName) {
+		t.Fatalf("oversized label accepted: %v", err)
+	}
+	q = NewQuery(1, "a..b")
+	if _, err := q.Encode(); !errors.Is(err, ErrBadName) {
+		t.Fatal("empty label accepted")
+	}
+}
+
+func TestDecodeTruncated(t *testing.T) {
+	q := NewQuery(3, "x.ru")
+	wire, _ := q.Encode()
+	for i := 0; i < len(wire); i++ {
+		if _, err := Decode(wire[:i]); err == nil {
+			t.Fatalf("truncation at %d accepted", i)
+		}
+	}
+}
+
+func TestPropertyNameRoundTrip(t *testing.T) {
+	f := func(raw []byte) bool {
+		// Build a plausible name from raw bytes.
+		name := "host"
+		for i := 0; i < len(raw)%4; i++ {
+			name += ".d" + string(rune('a'+int(raw[i])%26))
+		}
+		q := NewQuery(1, name)
+		wire, err := q.Encode()
+		if err != nil {
+			return false
+		}
+		m, err := Decode(wire)
+		return err == nil && m.Question == name
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestResolverOverNetwork(t *testing.T) {
+	s := sim.New()
+	n := netem.New(s)
+	clientNode := n.AddHost("client")
+	resolverNode := n.AddHost("resolver")
+	ci := clientNode.AddIface(packet.MustAddr("10.0.0.2"))
+	ri := resolverNode.AddIface(packet.MustAddr("10.0.0.53"))
+	n.Connect(ci, ri, time.Millisecond)
+	clientNode.AddDefaultRoute(ci)
+	resolverNode.AddDefaultRoute(ri)
+
+	clientStack := hostnet.NewStack(n, clientNode)
+	resolverStack := hostnet.NewStack(n, resolverNode)
+
+	blockpage := netip.MustParseAddr("192.0.2.200")
+	real := netip.MustParseAddr("203.0.113.80")
+	srv := NewServer(resolverStack, func(name string) []netip.Addr {
+		if name == "blocked.ru" {
+			return []netip.Addr{blockpage}
+		}
+		if name == "ok.ru" {
+			return []netip.Addr{real}
+		}
+		return nil
+	})
+
+	cl := NewClient(clientStack, resolverStack.Addr())
+	var got1, got2, got3 *Message
+	cl.Lookup("blocked.ru", func(m *Message) { got1 = m })
+	cl.Lookup("ok.ru", func(m *Message) { got2 = m })
+	cl.Lookup("unknown.ru", func(m *Message) { got3 = m })
+	s.Run()
+
+	if got1 == nil || got1.Answers[0].Addr != blockpage {
+		t.Fatalf("blockpage answer = %+v", got1)
+	}
+	if got2 == nil || got2.Answers[0].Addr != real {
+		t.Fatalf("real answer = %+v", got2)
+	}
+	if got3 == nil || got3.RCode != 3 {
+		t.Fatalf("nxdomain answer = %+v", got3)
+	}
+	if srv.Queries != 3 {
+		t.Fatalf("queries = %d", srv.Queries)
+	}
+}

@@ -1,0 +1,89 @@
+package dnsx
+
+import (
+	"net/netip"
+
+	"tspusim/internal/hostnet"
+	"tspusim/internal/packet"
+)
+
+// Resolve is a server-side resolution policy: it maps a queried name to the
+// addresses to answer with, or nil for NXDOMAIN.
+type Resolve func(name string) []netip.Addr
+
+// Server is a DNS resolver bound to UDP port 53 of a hostnet stack.
+type Server struct {
+	stack   *hostnet.Stack
+	resolve Resolve
+	// Queries counts handled queries.
+	Queries int
+}
+
+// NewServer installs a resolver on st. The resolve policy decides answers —
+// an ISP blockpage resolver returns the blockpage IP for censored names.
+func NewServer(st *hostnet.Stack, resolve Resolve) *Server {
+	s := &Server{stack: st, resolve: resolve}
+	st.BindUDP(53, s.handle)
+	return s
+}
+
+func (s *Server) handle(pkt *packet.Packet) {
+	q, err := Decode(pkt.UDP.Payload)
+	if err != nil || q.Response {
+		return
+	}
+	s.Queries++
+	var resp *Message
+	if addrs := s.resolve(q.Question); len(addrs) > 0 {
+		resp = q.Respond(addrs...)
+	} else {
+		resp = q.RespondNXDomain()
+	}
+	wire, err := resp.Encode()
+	if err != nil {
+		return
+	}
+	s.stack.SendUDP(pkt.IP.Src, 53, pkt.UDP.SrcPort, wire)
+}
+
+// Client performs lookups against a resolver from a hostnet stack.
+type Client struct {
+	stack  *hostnet.Stack
+	server netip.Addr
+	nextID uint16
+	// pending maps query IDs to result callbacks.
+	pending map[uint16]func(*Message)
+}
+
+// NewClient builds a resolver client targeting server.
+func NewClient(st *hostnet.Stack, server netip.Addr) *Client {
+	c := &Client{stack: st, server: server, nextID: 1, pending: make(map[uint16]func(*Message))}
+	st.BindUDP(5353, c.handle)
+	return c
+}
+
+// Lookup sends an A query; done is invoked with the response message when it
+// arrives (never on loss — the simulation surfaces censorship as silence).
+func (c *Client) Lookup(name string, done func(*Message)) {
+	id := c.nextID
+	c.nextID++
+	c.pending[id] = done
+	q := NewQuery(id, name)
+	wire, err := q.Encode()
+	if err != nil {
+		delete(c.pending, id)
+		return
+	}
+	c.stack.SendUDP(c.server, 5353, 53, wire)
+}
+
+func (c *Client) handle(pkt *packet.Packet) {
+	m, err := Decode(pkt.UDP.Payload)
+	if err != nil || !m.Response {
+		return
+	}
+	if done, ok := c.pending[m.ID]; ok {
+		delete(c.pending, m.ID)
+		done(m)
+	}
+}

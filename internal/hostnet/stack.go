@@ -1,0 +1,220 @@
+// Package hostnet provides endpoint network stacks for netem hosts: a
+// demultiplexer for inbound packets, a deliberately small TCP implementation
+// (enough for three-way, split, and simultaneous-open handshakes, data
+// segmentation by the peer's advertised window, and RST observation — no
+// retransmission, which measurement code must observe rather than mask), UDP
+// send/receive, automatic ICMP echo replies, and application servers (echo,
+// TLS-ish sink) used throughout the experiments.
+package hostnet
+
+import (
+	"net/netip"
+	"time"
+
+	"tspusim/internal/netem"
+	"tspusim/internal/packet"
+)
+
+// Stack binds protocol handling to a netem host node. Create at most one per
+// node: it installs itself as the node's handler.
+type Stack struct {
+	node *netem.Node
+	net  *netem.Network
+
+	conns     map[packet.FlowKey]*TCPConn
+	listeners map[uint16]*Listener
+	udp       map[uint16]UDPHandler
+	icmpEcho  bool
+	onICMP    func(*packet.Packet)
+	taps      []func(*packet.Packet)
+
+	reasm       ReassemblyProfile
+	reasmQueues map[packet.FragKey]*reasmQueue
+
+	// rawBinds receive all TCP packets to a port with no stack processing —
+	// no auto-RST, no connection handling. Measurement scripts use them to
+	// observe raw packet sequences (§5.3's methodology needs full control of
+	// every flag sent and silence otherwise).
+	rawBinds map[uint16]func(*packet.Packet)
+
+	nextPort uint16
+	nextIPID uint16
+}
+
+// UDPHandler consumes inbound UDP packets for a bound port.
+type UDPHandler func(pkt *packet.Packet)
+
+// NewStack installs a stack on node. ICMP echo replies are enabled by
+// default, as on any real host.
+func NewStack(n *netem.Network, node *netem.Node) *Stack {
+	st := &Stack{
+		node:        node,
+		net:         n,
+		conns:       make(map[packet.FlowKey]*TCPConn),
+		listeners:   make(map[uint16]*Listener),
+		udp:         make(map[uint16]UDPHandler),
+		icmpEcho:    true,
+		reasm:       DefaultReassembly(),
+		reasmQueues: make(map[packet.FragKey]*reasmQueue),
+		rawBinds:    make(map[uint16]func(*packet.Packet)),
+		nextPort:    33000,
+		nextIPID:    1,
+	}
+	node.SetHandler(st.handle)
+	return st
+}
+
+// Node returns the underlying netem node.
+func (st *Stack) Node() *netem.Node { return st.node }
+
+// Addr returns the host's primary address.
+func (st *Stack) Addr() netip.Addr { return st.node.Addr() }
+
+// SetICMPEcho enables or disables automatic echo replies.
+func (st *Stack) SetICMPEcho(on bool) { st.icmpEcho = on }
+
+// OnICMP installs a hook for all inbound ICMP (after echo auto-reply).
+func (st *Stack) OnICMP(fn func(*packet.Packet)) { st.onICMP = fn }
+
+// Tap registers a function that sees every inbound packet before handling.
+func (st *Stack) Tap(fn func(*packet.Packet)) { st.taps = append(st.taps, fn) }
+
+// ClearTaps removes all taps. Experiments that install taps in loops must
+// clear them to avoid unbounded callback chains.
+func (st *Stack) ClearTaps() { st.taps = nil }
+
+// RawBind claims a TCP port for raw observation: inbound packets to it are
+// handed to fn verbatim and nothing else happens (no RST, no state). It
+// shadows any listener on the port until RawUnbind.
+func (st *Stack) RawBind(port uint16, fn func(*packet.Packet)) { st.rawBinds[port] = fn }
+
+// RawUnbind releases a raw-bound port.
+func (st *Stack) RawUnbind(port uint16) { delete(st.rawBinds, port) }
+
+// EphemeralPort returns a fresh source port; wraps far above well-known
+// space. The paper's methodology requires "a fresh source port for each
+// test to prevent residual censorship affecting results" (§3).
+func (st *Stack) EphemeralPort() uint16 {
+	p := st.nextPort
+	st.nextPort++
+	if st.nextPort < 33000 {
+		st.nextPort = 33000
+	}
+	return p
+}
+
+// NextIPID returns a fresh IP identification value for fragmentation.
+func (st *Stack) NextIPID() uint16 {
+	id := st.nextIPID
+	st.nextIPID++
+	if st.nextIPID == 0 {
+		st.nextIPID = 1
+	}
+	return id
+}
+
+// Send transmits a pre-built packet from this host. If the packet's source
+// address is unset, the host's address is filled in.
+func (st *Stack) Send(pkt *packet.Packet) {
+	if !pkt.IP.Src.IsValid() {
+		pkt.IP.Src = st.Addr()
+	}
+	st.node.Send(pkt)
+}
+
+// SendTCP builds and sends a raw TCP packet. Returns the packet sent.
+func (st *Stack) SendTCP(dst netip.Addr, sport, dport uint16, flags packet.TCPFlags, seq, ack uint32, payload []byte) *packet.Packet {
+	p := packet.NewTCP(st.Addr(), dst, sport, dport, flags, seq, ack, payload)
+	p.IP.ID = st.NextIPID()
+	st.Send(p)
+	return p
+}
+
+// SendUDP builds and sends a UDP packet.
+func (st *Stack) SendUDP(dst netip.Addr, sport, dport uint16, payload []byte) *packet.Packet {
+	p := packet.NewUDP(st.Addr(), dst, sport, dport, payload)
+	p.IP.ID = st.NextIPID()
+	st.Send(p)
+	return p
+}
+
+// Ping sends an ICMP echo request.
+func (st *Stack) Ping(dst netip.Addr, id, seq uint16) {
+	p := packet.NewICMPEcho(st.Addr(), dst, id, seq)
+	p.IP.ID = st.NextIPID()
+	st.Send(p)
+}
+
+// BindUDP installs a handler for a UDP port.
+func (st *Stack) BindUDP(port uint16, h UDPHandler) { st.udp[port] = h }
+
+// handle is the node-level inbound entry point: taps see raw arrivals
+// (fragments included), then fragments are reassembled before protocol
+// dispatch.
+func (st *Stack) handle(pkt *packet.Packet) {
+	for _, tap := range st.taps {
+		tap(pkt)
+	}
+	if pkt.IsFragment() {
+		st.handleFragment(pkt)
+		return
+	}
+	st.dispatch(pkt)
+}
+
+// dispatch demultiplexes a whole (unfragmented or reassembled) packet.
+func (st *Stack) dispatch(pkt *packet.Packet) {
+	switch {
+	case pkt.ICMP != nil:
+		if pkt.ICMP.Type == packet.ICMPEchoRequest && st.icmpEcho {
+			reply := &packet.Packet{
+				IP: packet.IPv4{TTL: 64, Protocol: packet.ProtoICMP,
+					Src: pkt.IP.Dst, Dst: pkt.IP.Src},
+				ICMP: &packet.ICMP{Type: packet.ICMPEchoReply, ID: pkt.ICMP.ID, Seq: pkt.ICMP.Seq},
+			}
+			st.Send(reply)
+		}
+		if st.onICMP != nil {
+			st.onICMP(pkt)
+		}
+	case pkt.UDP != nil:
+		if h, ok := st.udp[pkt.UDP.DstPort]; ok {
+			h(pkt)
+		}
+	case pkt.TCP != nil:
+		st.handleTCP(pkt)
+	}
+}
+
+func (st *Stack) handleTCP(pkt *packet.Packet) {
+	if fn, ok := st.rawBinds[pkt.TCP.DstPort]; ok {
+		fn(pkt)
+		return
+	}
+	key := packet.FlowOf(pkt).Reverse() // our local flow key is our->their
+	if c, ok := st.conns[key]; ok {
+		// A fresh bare SYN on a listener-spawned connection is a new
+		// connection attempt from a reused 4-tuple (e.g. Quack probing
+		// repeatedly from client port 443): recycle the old conn.
+		if c.listener != nil && pkt.TCP.Flags == packet.FlagSYN &&
+			(c.State == StateEstablished || c.State == StateReset) {
+			delete(st.conns, key)
+			c.listener.accept(pkt)
+			return
+		}
+		c.receive(pkt)
+		return
+	}
+	if l, ok := st.listeners[pkt.TCP.DstPort]; ok {
+		l.accept(pkt)
+		return
+	}
+	// Closed port: a real stack RSTs non-RST segments. Keep it, servers in
+	// the paper's scans are detected by their SYN/ACK vs RST behavior.
+	if !pkt.TCP.Flags.Has(packet.FlagRST) {
+		st.SendTCP(pkt.IP.Src, pkt.TCP.DstPort, pkt.TCP.SrcPort,
+			packet.FlagsRSTACK, 0, pkt.TCP.Seq+1, nil)
+	}
+}
+
+func (st *Stack) now() time.Duration { return st.net.Sim.Now() }

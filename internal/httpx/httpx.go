@@ -1,0 +1,195 @@
+// Package httpx is a deliberately small HTTP/1.1 layer over hostnet TCP:
+// enough to serve and fetch blockpages and to run OONI-style web
+// connectivity tests inside the simulator. It formats and parses single
+// request/response exchanges (no keep-alive, no chunking) — which is also
+// all a blockpage ever needs.
+package httpx
+
+import (
+	"errors"
+	"fmt"
+	"net/netip"
+	"sort"
+	"strconv"
+	"strings"
+
+	"tspusim/internal/hostnet"
+)
+
+// Request is a parsed HTTP request.
+type Request struct {
+	Method  string
+	Path    string
+	Host    string
+	Headers map[string]string
+}
+
+// Response is a parsed HTTP response.
+type Response struct {
+	Status  int
+	Reason  string
+	Headers map[string]string
+	Body    string
+}
+
+// Errors.
+var (
+	ErrMalformed  = errors.New("httpx: malformed message")
+	ErrIncomplete = errors.New("httpx: incomplete message")
+)
+
+// FormatRequest renders a GET-style request.
+func FormatRequest(method, host, path string) []byte {
+	if path == "" {
+		path = "/"
+	}
+	return []byte(fmt.Sprintf("%s %s HTTP/1.1\r\nHost: %s\r\nConnection: close\r\n\r\n", method, path, host))
+}
+
+// ParseRequest parses a request head (body ignored; blockpage flows are
+// GET-only).
+func ParseRequest(b []byte) (*Request, error) {
+	head, _, ok := strings.Cut(string(b), "\r\n\r\n")
+	if !ok {
+		return nil, ErrIncomplete
+	}
+	lines := strings.Split(head, "\r\n")
+	parts := strings.SplitN(lines[0], " ", 3)
+	if len(parts) != 3 || !strings.HasPrefix(parts[2], "HTTP/") {
+		return nil, fmt.Errorf("%w: request line %q", ErrMalformed, lines[0])
+	}
+	req := &Request{Method: parts[0], Path: parts[1], Headers: map[string]string{}}
+	for _, line := range lines[1:] {
+		k, v, ok := strings.Cut(line, ":")
+		if !ok {
+			return nil, fmt.Errorf("%w: header %q", ErrMalformed, line)
+		}
+		req.Headers[strings.ToLower(strings.TrimSpace(k))] = strings.TrimSpace(v)
+	}
+	req.Host = req.Headers["host"]
+	return req, nil
+}
+
+// FormatResponse renders a response with Content-Length.
+func FormatResponse(status int, reason string, headers map[string]string, body string) []byte {
+	var b strings.Builder
+	fmt.Fprintf(&b, "HTTP/1.1 %d %s\r\n", status, reason)
+	keys := make([]string, 0, len(headers))
+	for k := range headers {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		fmt.Fprintf(&b, "%s: %s\r\n", k, headers[k])
+	}
+	fmt.Fprintf(&b, "Content-Length: %d\r\n\r\n%s", len(body), body)
+	return []byte(b.String())
+}
+
+// ParseResponse parses a full response; ErrIncomplete signals a body cut
+// short (what a censored transfer looks like).
+func ParseResponse(b []byte) (*Response, error) {
+	head, body, ok := strings.Cut(string(b), "\r\n\r\n")
+	if !ok {
+		return nil, ErrIncomplete
+	}
+	lines := strings.Split(head, "\r\n")
+	parts := strings.SplitN(lines[0], " ", 3)
+	if len(parts) < 2 || !strings.HasPrefix(parts[0], "HTTP/") {
+		return nil, fmt.Errorf("%w: status line %q", ErrMalformed, lines[0])
+	}
+	status, err := strconv.Atoi(parts[1])
+	if err != nil || status < 100 || status > 599 {
+		return nil, fmt.Errorf("%w: status %q", ErrMalformed, parts[1])
+	}
+	resp := &Response{Status: status, Headers: map[string]string{}}
+	if len(parts) == 3 {
+		resp.Reason = parts[2]
+	}
+	for _, line := range lines[1:] {
+		k, v, ok := strings.Cut(line, ":")
+		if !ok {
+			return nil, fmt.Errorf("%w: header %q", ErrMalformed, line)
+		}
+		resp.Headers[strings.ToLower(strings.TrimSpace(k))] = strings.TrimSpace(v)
+	}
+	if cl, ok := resp.Headers["content-length"]; ok {
+		n, err := strconv.Atoi(cl)
+		if err != nil {
+			return nil, fmt.Errorf("%w: content-length %q", ErrMalformed, cl)
+		}
+		if len(body) < n {
+			resp.Body = body
+			return resp, ErrIncomplete
+		}
+		body = body[:n]
+	}
+	resp.Body = body
+	return resp, nil
+}
+
+// Handler produces a response for a request.
+type Handler func(req *Request) *Response
+
+// Serve installs an HTTP server on a hostnet stack port.
+func Serve(st *hostnet.Stack, port uint16, h Handler) {
+	st.Listen(port, hostnet.ListenOptions{
+		OnData: func(c *hostnet.TCPConn, data []byte) {
+			req, err := ParseRequest(c.Received)
+			if err != nil {
+				if errors.Is(err, ErrIncomplete) {
+					return // wait for more segments
+				}
+				c.Send(FormatResponse(400, "Bad Request", nil, "bad request"))
+				return
+			}
+			resp := h(req)
+			if resp == nil {
+				resp = &Response{Status: 404, Reason: "Not Found", Body: "not found"}
+			}
+			c.Send(FormatResponse(resp.Status, resp.Reason, resp.Headers, resp.Body))
+		},
+	})
+}
+
+// GetResult is the outcome of a Get.
+type GetResult struct {
+	Response *Response
+	// Reset reports the connection was RST (SNI/TCP-level censorship).
+	Reset bool
+	// ConnectFailed reports no handshake (IP-level censorship or silence).
+	ConnectFailed bool
+	// Truncated reports an incomplete body (throttling or mid-stream drop).
+	Truncated bool
+}
+
+// Get runs a blocking-style fetch under the simulator: dial, send the
+// request, drain events, classify. The caller drives the sim; Get drains it.
+type Client struct {
+	Stack *hostnet.Stack
+	Run   func() // drains the simulator (lab.Sim.Run)
+}
+
+// Get fetches http://host:port/path from addr.
+func (c *Client) Get(addr netip.Addr, port uint16, host, path string) GetResult {
+	conn := c.Stack.Dial(addr, port, hostnet.DialOptions{})
+	req := FormatRequest("GET", host, path)
+	conn.OnEstablished = func() { conn.Send(req) }
+	c.Run()
+	defer conn.Close()
+	if conn.State == hostnet.StateSynSent {
+		return GetResult{ConnectFailed: true}
+	}
+	if conn.ResetSeen && len(conn.Received) == 0 {
+		return GetResult{Reset: true}
+	}
+	resp, err := ParseResponse(conn.Received)
+	switch {
+	case err == nil:
+		return GetResult{Response: resp, Reset: conn.ResetSeen}
+	case errors.Is(err, ErrIncomplete):
+		return GetResult{Response: resp, Truncated: true, Reset: conn.ResetSeen}
+	default:
+		return GetResult{Reset: conn.ResetSeen, Truncated: true}
+	}
+}

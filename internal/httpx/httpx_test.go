@@ -1,0 +1,140 @@
+package httpx
+
+import (
+	"errors"
+	"strings"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"tspusim/internal/hostnet"
+	"tspusim/internal/netem"
+	"tspusim/internal/packet"
+	"tspusim/internal/sim"
+)
+
+func TestRequestRoundTrip(t *testing.T) {
+	b := FormatRequest("GET", "blocked.ru", "/index.html")
+	req, err := ParseRequest(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if req.Method != "GET" || req.Path != "/index.html" || req.Host != "blocked.ru" {
+		t.Fatalf("req = %+v", req)
+	}
+}
+
+func TestResponseRoundTrip(t *testing.T) {
+	b := FormatResponse(200, "OK", map[string]string{"Server": "tspusim"}, "<html>hello</html>")
+	resp, err := ParseResponse(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Status != 200 || resp.Body != "<html>hello</html>" || resp.Headers["server"] != "tspusim" {
+		t.Fatalf("resp = %+v", resp)
+	}
+}
+
+func TestTruncatedBody(t *testing.T) {
+	b := FormatResponse(200, "OK", nil, strings.Repeat("x", 100))
+	_, err := ParseResponse(b[:len(b)-40])
+	if !errors.Is(err, ErrIncomplete) {
+		t.Fatalf("want ErrIncomplete, got %v", err)
+	}
+}
+
+func TestMalformed(t *testing.T) {
+	for _, bad := range []string{
+		"nonsense\r\n\r\n",
+		"HTTP/1.1 abc OK\r\n\r\n",
+		"GET /\r\n\r\n", // missing version
+	} {
+		if _, err := ParseResponse([]byte(bad)); err == nil {
+			if _, err2 := ParseRequest([]byte(bad)); err2 == nil {
+				t.Fatalf("accepted %q", bad)
+			}
+		}
+	}
+}
+
+func TestPropertyParseNeverPanics(t *testing.T) {
+	f := func(b []byte) bool {
+		defer func() {
+			if r := recover(); r != nil {
+				t.Fatalf("panic: %v", r)
+			}
+		}()
+		ParseRequest(b)
+		ParseResponse(b)
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestServeAndGet(t *testing.T) {
+	s := sim.New()
+	n := netem.New(s)
+	client := n.AddHost("c")
+	server := n.AddHost("s")
+	ci := client.AddIface(packet.MustAddr("10.0.0.2"))
+	si := server.AddIface(packet.MustAddr("203.0.113.80"))
+	n.Connect(ci, si, time.Millisecond)
+	client.AddDefaultRoute(ci)
+	server.AddDefaultRoute(si)
+	cs := hostnet.NewStack(n, client)
+	ss := hostnet.NewStack(n, server)
+
+	Serve(ss, 80, func(req *Request) *Response {
+		if req.Path == "/page" {
+			return &Response{Status: 200, Reason: "OK", Body: "<html>site " + req.Host + "</html>"}
+		}
+		return nil
+	})
+
+	cl := &Client{Stack: cs, Run: s.Run}
+	res := cl.Get(ss.Addr(), 80, "example.ru", "/page")
+	if res.Response == nil || res.Response.Status != 200 {
+		t.Fatalf("result = %+v", res)
+	}
+	if !strings.Contains(res.Response.Body, "example.ru") {
+		t.Fatalf("body = %q", res.Response.Body)
+	}
+	// 404 path.
+	res = cl.Get(ss.Addr(), 80, "example.ru", "/missing")
+	if res.Response == nil || res.Response.Status != 404 {
+		t.Fatalf("missing path result = %+v", res)
+	}
+	// Closed port: RST.
+	res = cl.Get(ss.Addr(), 81, "example.ru", "/")
+	if !res.Reset {
+		t.Fatalf("closed port result = %+v", res)
+	}
+}
+
+func TestGetThroughSegmentingWindow(t *testing.T) {
+	// A request split across segments must still be parsed (the server
+	// accumulates until the head completes).
+	s := sim.New()
+	n := netem.New(s)
+	client := n.AddHost("c")
+	server := n.AddHost("s")
+	ci := client.AddIface(packet.MustAddr("10.0.0.2"))
+	si := server.AddIface(packet.MustAddr("203.0.113.80"))
+	n.Connect(ci, si, time.Millisecond)
+	client.AddDefaultRoute(ci)
+	server.AddDefaultRoute(si)
+	cs := hostnet.NewStack(n, client)
+	ss := hostnet.NewStack(n, server)
+	Serve(ss, 80, func(req *Request) *Response {
+		return &Response{Status: 200, Reason: "OK", Body: "ok"}
+	})
+	conn := cs.Dial(ss.Addr(), 80, hostnet.DialOptions{MSS: 8})
+	conn.OnEstablished = func() { conn.Send(FormatRequest("GET", "x.ru", "/")) }
+	s.Run()
+	resp, err := ParseResponse(conn.Received)
+	if err != nil || resp.Status != 200 {
+		t.Fatalf("resp=%+v err=%v", resp, err)
+	}
+}

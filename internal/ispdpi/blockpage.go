@@ -1,0 +1,56 @@
+package ispdpi
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Blockpage templates per ISP. Each Russian ISP serves its own page (§6.2),
+// which is what makes blockpage fingerprinting [53] possible: the templates
+// carry stable, ISP-specific markers.
+var blockpageTemplates = map[string]string{
+	"rostelecom": `<html><head><title>Доступ ограничен</title></head>
+<body class="rt-block"><h1>Уважаемый абонент!</h1>
+<p>Доступ к запрашиваемому ресурсу ограничен по решению Роскомнадзора.</p>
+<p>rostelecom-block-id: %s</p></body></html>`,
+	"ertelecom": `<html><head><title>Dom.ru — доступ закрыт</title></head>
+<body id="ertelecom-blocked"><h2>Сайт заблокирован</h2>
+<p>Ресурс внесён в единый реестр запрещённой информации.</p>
+<p>ref: %s</p></body></html>`,
+	"obit": `<html><head><title>OBIT: access restricted</title></head>
+<body><div class="obit-banner">Доступ к сайту ограничен</div>
+<p>Основание: федеральный закон 139-ФЗ. id=%s</p></body></html>`,
+}
+
+// fingerprint markers: a stable substring unique to each template.
+var blockpageMarkers = map[string]string{
+	"rostelecom": `class="rt-block"`,
+	"ertelecom":  `id="ertelecom-blocked"`,
+	"obit":       `class="obit-banner"`,
+}
+
+// BlockpageHTML renders the ISP's blockpage for a blocked domain.
+func BlockpageHTML(isp, domain string) string {
+	tpl, ok := blockpageTemplates[isp]
+	if !ok {
+		return fmt.Sprintf("<html><body>blocked: %s</body></html>", domain)
+	}
+	return fmt.Sprintf(tpl, domain)
+}
+
+// FingerprintBlockpage identifies which ISP served a page, in the spirit of
+// Jones et al.'s blockpage fingerprinting [53]: match against known template
+// markers. ok is false for ordinary content.
+func FingerprintBlockpage(body string) (isp string, ok bool) {
+	for name, marker := range blockpageMarkers {
+		if strings.Contains(body, marker) {
+			return name, true
+		}
+	}
+	return "", false
+}
+
+// KnownBlockpageISPs lists the ISPs with registered templates.
+func KnownBlockpageISPs() []string {
+	return []string{"ertelecom", "obit", "rostelecom"}
+}

@@ -1,0 +1,78 @@
+package ispdpi
+
+import "time"
+
+// ConntrackProfile is one row of Table 7: a documented connection-state
+// timeout for an open- or closed-source tracking implementation. The
+// benchmark harness prints this table and contrasts it with the values
+// measured from the TSPU model (none of which match).
+type ConntrackProfile struct {
+	System  string
+	State   string
+	Timeout time.Duration
+}
+
+// Table7 returns the reference timeout values exactly as the paper lists
+// them (RDP [82], FreeBSD [9], Windows [25], Linux [16], RFC 5382 [49],
+// RFC 7857 [78], Huawei [10], Cisco [5], Juniper [13]).
+func Table7() []ConntrackProfile {
+	s := func(n int) time.Duration { return time.Duration(n) * time.Second }
+	return []ConntrackProfile{
+		{"rdp", "timeout_inactivity translation", s(86400)},
+		{"rdp", "timeouts_inactivity tcp_handshake", s(4)},
+		{"rdp", "timeouts_inactivity tcp_active", s(300)},
+		{"rdp", "timeouts_inactivity tcp_final", s(240)},
+		{"rdp", "timeouts_inactivity tcp_reset", s(4)},
+		{"rdp", "timeouts_inactivity tcp_session_active", s(120)},
+		{"freebsd", "tcp.first", s(120)},
+		{"freebsd", "tcp.opening", s(30)},
+		{"freebsd", "tcp.established", s(86400)},
+		{"freebsd", "tcp.closing", s(900)},
+		{"freebsd", "tcp.finwait", s(45)},
+		{"freebsd", "tcp.closed", s(90)},
+		{"windows", "TCP FIN", s(60)},
+		{"windows", "TCP RST", s(10)},
+		{"windows", "TCP half open", s(30)},
+		{"windows", "TCP idle timeout", s(240)},
+		{"linux", "syn_sent", s(120)},
+		{"linux", "syn_recv", s(60)},
+		{"linux", "established", s(432000)},
+		{"linux", "time_wait", s(120)},
+		{"linux", "unacknowledged", s(300)},
+		{"linux", "last_ack", s(30)},
+		{"linux", "fin_wait", s(120)},
+		{"linux", "close", s(10)},
+		{"linux", "close_wait", s(60)},
+		{"rfc 5382", "half open", s(240)},
+		{"rfc 5382", "established idle", s(7200)},
+		{"rfc 5382", "TIME WAIT", s(240)},
+		{"rfc 7857", "partial open idle timeout", s(240)},
+		{"huawei", "TCP session aging time", s(600)},
+		{"cisco", "tcp-timeout", s(86400)},
+		{"juniper", "TCP session timeout", s(1800)},
+	}
+}
+
+// FragQueueLimits returns the documented fragment-queue limits the paper
+// cites when arguing that 45 is a fingerprint (§7.2).
+func FragQueueLimits() map[string]int {
+	return map[string]int{
+		"linux":   64,
+		"cisco":   24,
+		"juniper": 250,
+		"tspu":    45,
+	}
+}
+
+// MatchesKnownProfile reports whether a (state, timeout) pair measured from
+// a device matches any documented implementation in Table 7. The paper's
+// finding is that none of the TSPU's values do.
+func MatchesKnownProfile(timeout time.Duration) []ConntrackProfile {
+	var hits []ConntrackProfile
+	for _, p := range Table7() {
+		if p.Timeout == timeout {
+			hits = append(hits, p)
+		}
+	}
+	return hits
+}

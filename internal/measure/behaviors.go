@@ -1,0 +1,274 @@
+package measure
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"tspusim/internal/hostnet"
+	"tspusim/internal/packet"
+	"tspusim/internal/quicx"
+	"tspusim/internal/report"
+	"tspusim/internal/topo"
+	"tspusim/internal/trace"
+	"tspusim/internal/tspu"
+)
+
+// BehaviorTraces reproduces Fig. 2: a packet-level trace of each blocking
+// behavior, captured at the client side (what a Russian user's tcpdump would
+// show).
+func BehaviorTraces(lab *topo.Lab) string {
+	var b strings.Builder
+	v := vantageOf(lab, topo.ERTelecom)
+
+	run := func(title string, script func() []string) {
+		fmt.Fprintf(&b, "--- %s ---\n", title)
+		for _, line := range script() {
+			fmt.Fprintf(&b, "  %s\n", line)
+		}
+		b.WriteByte('\n')
+	}
+
+	lab.US1.Listen(443, hostnet.ListenOptions{
+		OnData: func(c *hostnet.TCPConn, d []byte) {
+			c.Send([]byte("SERVERHELLO....."))
+			c.Send([]byte("CERTIFICATE....."))
+		},
+	})
+
+	connTrace := func(domain string) []string {
+		var lines []string
+		conn := v.Stack.Dial(lab.US1.Addr(), 443, hostnet.DialOptions{})
+		lines = append(lines, "-> SYN")
+		conn.OnPacket = func(p *packet.Packet) {
+			lines = append(lines, "<- "+p.TCP.Flags.String()+payloadNote(p))
+		}
+		conn.OnEstablished = func() {
+			lines = append(lines, "-> ACK")
+			lines = append(lines, fmt.Sprintf("-> ClientHello (SNI=%s)", domain))
+			conn.Send(CH(domain))
+		}
+		lab.Sim.Run()
+		conn.Close()
+		return lines
+	}
+
+	run("SNI-Based (I): RST/ACK rewriting ("+DomainSNI1+")", func() []string {
+		return connTrace(DomainSNI1)
+	})
+	run("SNI-Based (II): allowance then symmetric drops ("+DomainSNI2+")", func() []string {
+		lines := connTrace(DomainSNI2)
+		f := NewFlow(lab, v.Stack, lab.US1, 443)
+		defer f.Close()
+		f.L(packet.FlagSYN, nil)
+		f.R(packet.FlagsSYNACK, nil)
+		f.L(packet.FlagACK, nil)
+		f.L(packet.FlagsPSHACK, CH(DomainSNI2))
+		before := len(f.RemoteGot)
+		for i := 0; i < 12; i++ {
+			f.L(packet.FlagsPSHACK, []byte("data"))
+		}
+		lines = append(lines, fmt.Sprintf("   [raw flow: %d of 12 post-trigger packets delivered, then symmetric drops]",
+			len(f.RemoteGot)-before))
+		return lines
+	})
+	run("SNI-Based (IV): split handshake backup drop ("+DomainSNI14+")", func() []string {
+		var lines []string
+		us2 := lab.US2.Listen(443, hostnet.ListenOptions{SplitHandshake: true})
+		conn := v.Stack.Dial(lab.US2.Addr(), 443, hostnet.DialOptions{})
+		lines = append(lines, "-> SYN")
+		conn.OnPacket = func(p *packet.Packet) {
+			lines = append(lines, "<- "+p.TCP.Flags.String())
+		}
+		conn.OnEstablished = func() {
+			lines = append(lines, fmt.Sprintf("-> ClientHello (SNI=%s)", DomainSNI14))
+			conn.Send(CH(DomainSNI14))
+		}
+		lab.Sim.Run()
+		delivered := false
+		for _, sc := range us2.Conns {
+			if sc.RemotePort == conn.LocalPort && len(sc.Received) > 0 {
+				delivered = true
+			}
+		}
+		lines = append(lines, fmt.Sprintf("   [ClientHello delivered to server: %v — backup drops everything]", delivered))
+		conn.Close()
+		return lines
+	})
+	run("IP-Based: outgoing dropped, inbound responses rewritten", func() []string {
+		var lines []string
+		conn := v.Stack.Dial(lab.TorAddr, 9001, hostnet.DialOptions{})
+		lab.Sim.Run()
+		lines = append(lines, "-> SYN to blocked IP")
+		lines = append(lines, fmt.Sprintf("   [replies received: %d — dropped at the TSPU]", len(conn.Packets)))
+		conn.Close()
+		return lines
+	})
+	run("QUIC: v1 initial triggers full drop", func() []string {
+		var lines []string
+		sport := v.Stack.EphemeralPort()
+		got := 0
+		lab.US1.BindUDP(443, func(p *packet.Packet) { got++ })
+		v.Stack.SendUDP(lab.US1.Addr(), sport, 443, quicx.BuildInitial(quicx.Version1, 1200))
+		v.Stack.SendUDP(lab.US1.Addr(), sport, 443, []byte("second"))
+		v.Stack.SendUDP(lab.US1.Addr(), sport, 443, []byte("third"))
+		lab.Sim.Run()
+		lines = append(lines, "-> QUIC v1 Initial (1200 bytes)")
+		lines = append(lines, "-> two follow-up datagrams")
+		lines = append(lines, fmt.Sprintf("   [server received %d of 3 — everything after the trigger drops]", got))
+		return lines
+	})
+	return b.String()
+}
+
+func payloadNote(p *packet.Packet) string {
+	if len(p.TCP.Payload) > 0 {
+		return fmt.Sprintf(" len=%d", len(p.TCP.Payload))
+	}
+	return ""
+}
+
+// FragBehaviorTrace reproduces Fig. 3: fragments buffered at the device,
+// released together after the last arrives, TTLs rewritten.
+func FragBehaviorTrace(lab *topo.Lab) string {
+	var b strings.Builder
+	b.WriteString("== Fig. 3: TSPU handling of IP fragmentation ==\n")
+	v := vantageOf(lab, topo.ERTelecom)
+	type arrival struct {
+		at  time.Duration
+		ttl uint8
+		off uint16
+	}
+	var arrivals []arrival
+	lab.US1.Tap(func(p *packet.Packet) {
+		if p.IsFragment() || p.IP.FragOffset != 0 {
+			arrivals = append(arrivals, arrival{lab.Sim.Now(), p.IP.TTL, p.IP.FragOffset})
+		} else if p.TCP == nil {
+			arrivals = append(arrivals, arrival{lab.Sim.Now(), p.IP.TTL, 0})
+		}
+	})
+	defer lab.US1.ClearTaps()
+
+	p := packet.NewTCP(v.Stack.Addr(), lab.US1.Addr(), v.Stack.EphemeralPort(), 7547, packet.FlagSYN, 1, 0, nil)
+	p.IP.ID = v.Stack.NextIPID()
+	frags, err := packet.FragmentCount(p, 3)
+	if err != nil {
+		return err.Error()
+	}
+	frags[1].IP.TTL = 33 // distinct TTLs show the rewrite
+	frags[2].IP.TTL = 21
+	base := lab.Sim.Now()
+	for i, f := range frags {
+		f := f
+		sent := time.Duration(i) * 50 * time.Millisecond
+		fmt.Fprintf(&b, "t=%3dms send fragment[%d] offset=%d ttl=%d\n", sent/time.Millisecond, i, f.IP.FragOffset, f.IP.TTL)
+		lab.Sim.After(sent, func() { v.Stack.Send(f) })
+	}
+	lab.Sim.Run()
+	for i, a := range arrivals {
+		fmt.Fprintf(&b, "t=%3dms recv fragment[%d] offset=%d ttl=%d\n",
+			(a.at-base)/time.Millisecond, i, a.off, a.ttl)
+	}
+	if len(arrivals) == 3 && arrivals[0].ttl == arrivals[1].ttl && arrivals[1].ttl == arrivals[2].ttl {
+		b.WriteString("all fragments released together after the last arrived, TTLs rewritten to the first fragment's\n")
+	}
+	return b.String()
+}
+
+// ThrottleResult is the SNI-III measurement.
+type ThrottleResult struct {
+	// GoodputBps is the throttled goodput.
+	GoodputBps float64
+	// ControlBps is the un-throttled goodput of the same workload.
+	ControlBps float64
+}
+
+// ThrottleMeasure activates the Feb 26 - Mar 4 throttling policy and
+// measures upstream goodput for a throttled domain vs a control.
+func ThrottleMeasure(lab *topo.Lab) ThrottleResult {
+	lab.Controller.Update(func(p *tspu.Policy) { p.ThrottleActive = true })
+	defer lab.Controller.Update(func(p *tspu.Policy) { p.ThrottleActive = false })
+	v := vantageOf(lab, topo.ERTelecom)
+
+	run := func(domain string) float64 {
+		f := NewFlow(lab, v.Stack, lab.US1, 443)
+		defer f.Close()
+		f.L(packet.FlagSYN, nil)
+		f.R(packet.FlagsSYNACK, nil)
+		f.L(packet.FlagACK, nil)
+		f.L(packet.FlagsPSHACK, CH(domain))
+		start := lab.Sim.Now()
+		received := 0
+		base := len(f.RemoteGot)
+		// 10 seconds of 1000-byte sends every 100ms.
+		for i := 0; i < 100; i++ {
+			f.Sleep(100 * time.Millisecond)
+			f.L(packet.FlagsPSHACK, make([]byte, 1000))
+		}
+		for _, p := range f.RemoteGot[base:] {
+			received += len(p.TCP.Payload)
+		}
+		elapsed := (lab.Sim.Now() - start).Seconds()
+		return float64(received) / elapsed
+	}
+	return ThrottleResult{
+		GoodputBps: run(DomainThrottle),
+		ControlBps: run(DomainControl),
+	}
+}
+
+// Render prints the throttling comparison.
+func (r ThrottleResult) Render() string {
+	return fmt.Sprintf("== SNI-III throttling (Feb 26 - Mar 4 2022 policy) ==\n"+
+		"throttled goodput: %8.0f B/s (paper: 600-700 B/s)\n"+
+		"control goodput:   %8.0f B/s\n"+
+		"slowdown:          %8.1fx\n",
+		r.GoodputBps, r.ControlBps, r.ControlBps/r.GoodputBps)
+}
+
+// TracerouteStudy reproduces Fig. 10-12: traceroutes to every TSPU-positive
+// endpoint, TSPU-link extraction via the fragment localization, clustering,
+// and DOT export.
+type TracerouteStudy struct {
+	Traces      []*trace.Result
+	Cluster     *trace.Cluster
+	UniqueLinks int
+	DOT         string
+}
+
+// RunTracerouteStudy consumes a prior FragScan (with localization) and maps
+// every positive endpoint's TSPU link.
+func RunTracerouteStudy(lab *topo.Lab, scan *FragScanResult) *TracerouteStudy {
+	study := &TracerouteStudy{Cluster: trace.NewCluster()}
+	tspuEdges := map[string]bool{}
+	for _, v := range scan.Verdicts {
+		if !v.TSPULike || v.LocalizedHops == 0 {
+			continue
+		}
+		tr := trace.Traceroute(lab, lab.Paris, v.Endpoint.Addr, v.Endpoint.Port, 32)
+		study.Traces = append(study.Traces, tr)
+		link, ok := trace.LinkFromTrace(tr, v.LocalizedHops)
+		if !ok {
+			continue
+		}
+		study.Cluster.Add(link, v.LocalizedHops == 1)
+		tspuEdges[trace.EdgeKey(link)] = true
+	}
+	study.UniqueLinks = study.Cluster.Unique()
+	study.DOT = trace.DOT(study.Traces, tspuEdges)
+	return study
+}
+
+// Render summarizes the study (Fig. 10's caption numbers).
+func (s *TracerouteStudy) Render(scale float64) string {
+	t := report.NewTable("Fig. 10/11: traceroutes with TSPU links",
+		"Metric", "Value", "Paper")
+	t.AddRow("traceroutes with TSPU on path", len(s.Traces), "> 1M")
+	t.AddRow("unique TSPU links", s.UniqueLinks, "6,871")
+	t.AddRow("unique links (paper scale)", int(float64(s.UniqueLinks)*scale), "")
+	sizes := s.Cluster.Members()
+	if len(sizes) > 0 {
+		t.AddRow("largest shared link serves", fmt.Sprintf("%d endpoints", sizes[0]), "censorship-as-a-service (Fig. 11)")
+	}
+	return t.String()
+}

@@ -1,0 +1,169 @@
+package measure
+
+import (
+	"fmt"
+
+	"tspusim/internal/hostnet"
+	"tspusim/internal/packet"
+	"tspusim/internal/quicx"
+	"tspusim/internal/report"
+	"tspusim/internal/topo"
+	"tspusim/internal/tspu"
+)
+
+// ReliabilityResult is Table 1: the fraction of connections per vantage and
+// blocking type that escaped censorship.
+type ReliabilityResult struct {
+	Trials int
+	// Failures[vantage][type] is the unblocked fraction.
+	Failures map[string]map[tspu.BlockType]float64
+}
+
+// ReliabilityTypes are the columns of Table 1 (SNI-III was replaced by
+// outright blocking before a reliability experiment could be run — the
+// paper's own footnote).
+var ReliabilityTypes = []tspu.BlockType{tspu.SNI1, tspu.SNI2, tspu.SNI4, tspu.QUICBlock, tspu.IPBlock}
+
+// Reliability measures Table 1 with the given number of trials per cell
+// (paper: 20,000).
+func Reliability(lab *topo.Lab, trials int) *ReliabilityResult {
+	res := &ReliabilityResult{Trials: trials, Failures: make(map[string]map[tspu.BlockType]float64)}
+
+	// US1 port 443: a normal responding server. US2 port 443: a
+	// split-handshake server used to force the SNI-IV backup path.
+	lab.US1.Listen(443, hostnet.ListenOptions{
+		OnData: func(c *hostnet.TCPConn, d []byte) { c.Send([]byte("SERVERHELLO")) },
+	})
+	us2Listener := lab.US2.Listen(443, hostnet.ListenOptions{SplitHandshake: true})
+
+	for _, name := range []string{topo.Rostelecom, topo.ERTelecom, topo.OBIT} {
+		v := vantageOf(lab, name)
+		res.Failures[name] = make(map[tspu.BlockType]float64)
+		for _, typ := range ReliabilityTypes {
+			fails := 0
+			for i := 0; i < trials; i++ {
+				if !trialBlocked(lab, v, typ, us2Listener) {
+					fails++
+				}
+			}
+			res.Failures[name][typ] = float64(fails) / float64(trials)
+		}
+	}
+	return res
+}
+
+// trialBlocked runs one censorship attempt and reports whether the TSPU
+// blocked it.
+func trialBlocked(lab *topo.Lab, v *topo.Vantage, typ tspu.BlockType, us2 *hostnet.Listener) bool {
+	switch typ {
+	case tspu.SNI1:
+		conn := v.Stack.Dial(lab.US1.Addr(), 443, hostnet.DialOptions{})
+		conn.OnEstablished = func() { conn.Send(CH(DomainSNI1)) }
+		lab.Sim.Run()
+		blocked := conn.ResetSeen
+		conn.Close()
+		return blocked
+	case tspu.SNI2:
+		f := NewFlow(lab, v.Stack, lab.US1, 443)
+		defer f.Close()
+		f.L(packet.FlagSYN, nil)
+		f.R(packet.FlagsSYNACK, nil)
+		f.L(packet.FlagACK, nil)
+		f.L(packet.FlagsPSHACK, CH(DomainSNI2))
+		before := len(f.RemoteGot)
+		for i := 0; i < 12; i++ {
+			f.L(packet.FlagsPSHACK, []byte("marker"))
+		}
+		// Unblocked only if every marker arrived.
+		return len(f.RemoteGot)-before < 12
+	case tspu.SNI4:
+		conn := v.Stack.Dial(lab.US2.Addr(), 443, hostnet.DialOptions{})
+		conn.OnEstablished = func() { conn.Send(CH(DomainSNI14)) }
+		lab.Sim.Run()
+		// Blocked when the trigger never reached the split-handshake server.
+		// Match on both address and port: vantages allocate the same
+		// ephemeral port sequence, so port alone collides across them.
+		blocked := true
+		for _, sc := range us2.Conns {
+			if sc.RemoteAddr == v.Stack.Addr() && sc.RemotePort == conn.LocalPort && len(sc.Received) > 0 {
+				blocked = false
+			}
+		}
+		conn.Close()
+		return blocked
+	case tspu.QUICBlock:
+		sport := v.Stack.EphemeralPort()
+		got := 0
+		lab.US1.BindUDP(443, func(p *packet.Packet) {
+			if p.UDP.SrcPort == sport {
+				got++
+			}
+		})
+		v.Stack.SendUDP(lab.US1.Addr(), sport, 443, quicx.BuildInitial(quicx.Version1, 1200))
+		for i := 0; i < 3; i++ {
+			v.Stack.SendUDP(lab.US1.Addr(), sport, 443, []byte("post-trigger"))
+		}
+		lab.Sim.Run()
+		// The trigger itself passes; blocked means the rest were dropped.
+		return got < 4
+	case tspu.IPBlock:
+		port := v.Stack.EphemeralPort()
+		v.Stack.Listen(port, hostnet.ListenOptions{})
+		conn := lab.Tor.Dial(v.Stack.Addr(), port, hostnet.DialOptions{})
+		lab.Sim.Run()
+		blocked := conn.ResetSeen
+		conn.Close()
+		return blocked
+	}
+	return false
+}
+
+// Render prints Table 1.
+func (r *ReliabilityResult) Render() string {
+	t := report.NewTable(fmt.Sprintf("Table 1: TSPU trigger failure rates (%d trials/cell)", r.Trials),
+		"Vantage", "SNI-I", "SNI-II", "SNI-IV", "QUIC", "IP-Based")
+	for _, name := range []string{topo.Rostelecom, topo.ERTelecom, topo.OBIT} {
+		row := []any{name}
+		for _, typ := range ReliabilityTypes {
+			row = append(row, fmt.Sprintf("%.4f%%", 100*r.Failures[name][typ]))
+		}
+		t.AddRow(row...)
+	}
+	return t.String()
+}
+
+// ReliabilityConcurrent reruns the SNI-I cell with batched (overlapping)
+// connections. §5.2.1: "We also tried different levels of concurrency but
+// found no observable differences from sequential testing results" — the
+// TSPU's per-flow state makes trials independent, which this verifies.
+func ReliabilityConcurrent(lab *topo.Lab, vantage string, trials, batch int) float64 {
+	if batch < 1 {
+		batch = 1
+	}
+	v := vantageOf(lab, vantage)
+	lab.US1.Listen(443, hostnet.ListenOptions{
+		OnData: func(c *hostnet.TCPConn, d []byte) { c.Send([]byte("SERVERHELLO")) },
+	})
+	fails := 0
+	for done := 0; done < trials; {
+		n := batch
+		if done+n > trials {
+			n = trials - done
+		}
+		conns := make([]*hostnet.TCPConn, n)
+		for i := range conns {
+			conn := v.Stack.Dial(lab.US1.Addr(), 443, hostnet.DialOptions{})
+			conn.OnEstablished = func() { conn.Send(CH(DomainSNI1)) }
+			conns[i] = conn
+		}
+		lab.Sim.Run() // the whole batch shares the wire concurrently
+		for _, conn := range conns {
+			if !conn.ResetSeen {
+				fails++
+			}
+			conn.Close()
+		}
+		done += n
+	}
+	return float64(fails) / float64(trials)
+}

@@ -1,0 +1,496 @@
+package measure
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"tspusim/internal/packet"
+	"tspusim/internal/report"
+	"tspusim/internal/topo"
+)
+
+// Op is one scripted packet in a sequence: which side sends and with what
+// flags. The paper's notation: L=Local, R=Remote; s=SYN, sa=SYN/ACK, a=ACK.
+type Op struct {
+	Local bool
+	Flags packet.TCPFlags
+}
+
+// The op vocabulary of §5.3.2.
+var (
+	Ls  = Op{true, packet.FlagSYN}
+	Lsa = Op{true, packet.FlagsSYNACK}
+	La  = Op{true, packet.FlagACK}
+	Rs  = Op{false, packet.FlagSYN}
+	Rsa = Op{false, packet.FlagsSYNACK}
+	Ra  = Op{false, packet.FlagACK}
+)
+
+// OpName renders an op in the paper's notation.
+func OpName(o Op) string {
+	side := "R"
+	if o.Local {
+		side = "L"
+	}
+	switch o.Flags {
+	case packet.FlagSYN:
+		return side + "s"
+	case packet.FlagsSYNACK:
+		return side + "sa"
+	case packet.FlagACK:
+		return side + "a"
+	}
+	return side + "?"
+}
+
+// SeqString renders a sequence.
+func SeqString(seq []Op) string {
+	if len(seq) == 0 {
+		return "(empty)"
+	}
+	parts := make([]string, len(seq))
+	for i, o := range seq {
+		parts[i] = OpName(o)
+	}
+	return strings.Join(parts, ";")
+}
+
+// SeqVerdict classifies one prefix sequence (a Fig. 4 node).
+type SeqVerdict struct {
+	Seq []Op
+	// SNI1Acts reports whether a following SNI-I trigger leads to RST/ACK
+	// rewriting of downstream traffic.
+	SNI1Acts bool
+	// SNI4Acts reports whether a following SNI-I+IV trigger is itself
+	// swallowed (the backup drop-all).
+	SNI4Acts bool
+	// TriggerDelivered reports whether the SNI-I trigger reached the remote.
+	TriggerDelivered bool
+}
+
+// Green reports whether the sequence is a Fig. 4 "green node": it evades
+// SNI-I but still trips the SNI-IV backup.
+func (v SeqVerdict) Green() bool { return !v.SNI1Acts && v.SNI4Acts }
+
+// playSeq scripts the prefix ops on a fresh flow.
+func playSeq(f *Flow, seq []Op) {
+	for _, op := range seq {
+		if op.Local {
+			f.L(op.Flags, nil)
+		} else {
+			f.R(op.Flags, nil)
+		}
+	}
+}
+
+// ClassifySequence tests one prefix sequence from a vantage, as §5.3.2 does:
+// append a triggering ClientHello and observe the blocking behavior.
+func ClassifySequence(lab *topo.Lab, vantage string, seq []Op) SeqVerdict {
+	v := vantageOf(lab, vantage)
+	verdict := SeqVerdict{Seq: seq}
+
+	// SNI-I probe: trigger with an SNI-I-only domain, then a downstream
+	// response; RST/ACK at the local side means SNI-I acted.
+	f := NewFlow(lab, v.Stack, lab.US1, 443)
+	playSeq(f, seq)
+	f.L(packet.FlagsPSHACK, CH(DomainSNI1))
+	verdict.TriggerDelivered = f.remoteDataCount() > 0
+	f.R(packet.FlagsPSHACK, []byte("SERVERHELLO"))
+	if len(f.LocalGot) > 0 {
+		last := f.LocalGot[len(f.LocalGot)-1]
+		verdict.SNI1Acts = last.TCP.Flags.Has(packet.FlagRST)
+	}
+	f.Close()
+
+	// SNI-IV probe: a domain under both SNI-I and SNI-IV. If neither the
+	// trigger arrives remotely nor any downstream probe returns, the backup
+	// drop-all fired.
+	f2 := NewFlow(lab, v.Stack, lab.US2, 443)
+	playSeq(f2, seq)
+	f2.L(packet.FlagsPSHACK, CH(DomainSNI14))
+	chDelivered := f2.remoteDataCount() > 0
+	verdict.SNI4Acts = !chDelivered
+	f2.Close()
+	return verdict
+}
+
+// ExploreSequences enumerates all op sequences up to maxLen (the paper used
+// 3) and classifies each — the Fig. 4 tree.
+type ExploreResult struct {
+	Verdicts []SeqVerdict
+}
+
+// ExploreSequences runs the full enumeration from a vantage.
+func ExploreSequences(lab *topo.Lab, vantage string, maxLen int) *ExploreResult {
+	ops := []Op{Ls, Lsa, La, Rs, Rsa, Ra}
+	res := &ExploreResult{}
+	var rec func(prefix []Op)
+	rec = func(prefix []Op) {
+		res.Verdicts = append(res.Verdicts, ClassifySequence(lab, vantage, prefix))
+		if len(prefix) == maxLen {
+			return
+		}
+		for _, op := range ops {
+			rec(append(append([]Op{}, prefix...), op))
+		}
+	}
+	rec(nil)
+	return res
+}
+
+// Stats summarizes the exploration.
+func (r *ExploreResult) Stats() (total, validSNI1, green, remoteFirstValid int) {
+	for _, v := range r.Verdicts {
+		total++
+		if v.SNI1Acts {
+			validSNI1++
+			if len(v.Seq) > 0 && !v.Seq[0].Local {
+				remoteFirstValid++
+			}
+		}
+		if v.Green() {
+			green++
+		}
+	}
+	return
+}
+
+// Render prints the Fig. 4 summary plus every green sequence.
+func (r *ExploreResult) Render() string {
+	total, valid, green, remoteFirst := r.Stats()
+	var b strings.Builder
+	fmt.Fprintf(&b, "== Fig. 4: TSPU triggering sequences (length <= 3) ==\n")
+	fmt.Fprintf(&b, "sequences tested:            %d\n", total)
+	fmt.Fprintf(&b, "valid SNI-I prefixes:        %d\n", valid)
+	fmt.Fprintf(&b, "remote-first valid prefixes: %d (paper: 0 — remote-first is never a valid prefix)\n", remoteFirst)
+	fmt.Fprintf(&b, "green (evade SNI-I, hit SNI-IV backup): %d\n", green)
+	for _, v := range r.Verdicts {
+		if v.Green() {
+			fmt.Fprintf(&b, "  green: %s\n", SeqString(v.Seq))
+		}
+	}
+	return b.String()
+}
+
+// BlockCheck selects how "blocked" is decided after a trigger, matching the
+// trigger domain class.
+type BlockCheck int
+
+// Block checks.
+const (
+	// CheckSNI1: downstream response rewritten to RST/ACK.
+	CheckSNI1 BlockCheck = iota
+	// CheckSNI2: upstream markers after the trigger get dropped.
+	CheckSNI2
+)
+
+// TimeoutProbe measures whether blocking occurs for a sequence with a sleep
+// inserted at sleepAt (ops before it play, then the clock advances, then the
+// rest), per Fig. 5's protocol. Because devices miss a small fraction of
+// triggers (Table 1), the probe retries on fresh flows: a single blocked
+// observation is conclusive, repeated passes are.
+func TimeoutProbe(lab *topo.Lab, vantage string, seq []Op, sleepAt int, sleep time.Duration, check BlockCheck) bool {
+	for attempt := 0; attempt < 3; attempt++ {
+		if timeoutProbeOnce(lab, vantage, seq, sleepAt, sleep, check) {
+			return true
+		}
+	}
+	return false
+}
+
+func timeoutProbeOnce(lab *topo.Lab, vantage string, seq []Op, sleepAt int, sleep time.Duration, check BlockCheck) bool {
+	v := vantageOf(lab, vantage)
+	f := NewFlow(lab, v.Stack, lab.US1, 443)
+	defer f.Close()
+	playSeq(f, seq[:sleepAt])
+	f.Sleep(sleep)
+	playSeq(f, seq[sleepAt:])
+	switch check {
+	case CheckSNI1:
+		f.L(packet.FlagsPSHACK, CH(DomainSNI1))
+		f.R(packet.FlagsPSHACK, []byte("SERVERHELLO"))
+		return f.LastLocalRST()
+	default:
+		f.L(packet.FlagsPSHACK, CH(DomainSNI2))
+		before := len(f.RemoteGot)
+		for i := 0; i < 12; i++ {
+			f.L(packet.FlagsPSHACK, []byte("marker"))
+		}
+		return len(f.RemoteGot)-before < 12
+	}
+}
+
+// EstimateTimeout bisects the sleep duration at which the blocking verdict
+// flips, within [lo, hi] at 1-second resolution. It returns the estimated
+// timeout and the verdicts at the extremes; ok is false when no transition
+// exists in range.
+func EstimateTimeout(lab *topo.Lab, vantage string, seq []Op, sleepAt int, check BlockCheck, lo, hi time.Duration) (time.Duration, bool) {
+	atLo := TimeoutProbe(lab, vantage, seq, sleepAt, lo, check)
+	atHi := TimeoutProbe(lab, vantage, seq, sleepAt, hi, check)
+	if atLo == atHi {
+		return 0, false
+	}
+	for hi-lo > time.Second {
+		mid := (lo + hi) / 2
+		if TimeoutProbe(lab, vantage, seq, sleepAt, mid, check) == atLo {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return hi, true
+}
+
+// BlockTimeoutProbe measures whether a previously-installed blocking state
+// is still active after a sleep: trigger first, sleep, then probe. Retries
+// absorb trigger-miss noise like TimeoutProbe.
+func BlockTimeoutProbe(lab *topo.Lab, vantage string, domain string, sleep time.Duration, check BlockCheck) bool {
+	for attempt := 0; attempt < 3; attempt++ {
+		if blockTimeoutProbeOnce(lab, vantage, domain, sleep, check) {
+			return true
+		}
+	}
+	return false
+}
+
+func blockTimeoutProbeOnce(lab *topo.Lab, vantage string, domain string, sleep time.Duration, check BlockCheck) bool {
+	v := vantageOf(lab, vantage)
+	f := NewFlow(lab, v.Stack, lab.US1, 443)
+	defer f.Close()
+	f.L(packet.FlagSYN, nil)
+	f.R(packet.FlagsSYNACK, nil)
+	f.L(packet.FlagACK, nil)
+	f.L(packet.FlagsPSHACK, CH(domain))
+	f.Sleep(sleep)
+	switch check {
+	case CheckSNI1:
+		f.R(packet.FlagsPSHACK, []byte("SERVERHELLO")) // probe downstream
+		return f.LastLocalRST()
+	default:
+		before := len(f.RemoteGot)
+		for i := 0; i < 12; i++ {
+			f.L(packet.FlagsPSHACK, []byte("marker"))
+		}
+		return len(f.RemoteGot)-before < 12
+	}
+}
+
+// EstimateBlockTimeout bisects how long a blocking state persists.
+func EstimateBlockTimeout(lab *topo.Lab, vantage, domain string, check BlockCheck, lo, hi time.Duration) (time.Duration, bool) {
+	atLo := BlockTimeoutProbe(lab, vantage, domain, lo, check)
+	atHi := BlockTimeoutProbe(lab, vantage, domain, hi, check)
+	if atLo == atHi {
+		return 0, false
+	}
+	for hi-lo > time.Second {
+		mid := (lo + hi) / 2
+		if BlockTimeoutProbe(lab, vantage, domain, mid, check) == atLo {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return hi, true
+}
+
+// Table2Row is one row of Table 2.
+type Table2Row struct {
+	Label    string
+	Timeout  time.Duration
+	Found    bool
+	State    string
+	PaperVal time.Duration
+}
+
+// Table2 reproduces the state-timeout table. Measurements run from
+// ER-Telecom, the single-device vantage, to avoid multi-device interactions
+// (the paper TTL-limited triggers for the same reason, footnote 2).
+func Table2(lab *topo.Lab) []Table2Row {
+	v := topo.ERTelecom
+	var rows []Table2Row
+	add := func(label string, d time.Duration, ok bool, state string, paper time.Duration) {
+		rows = append(rows, Table2Row{label, d, ok, state, paper})
+	}
+
+	// Remote.SYN; SLEEP; Local.SYN; Remote.SA; Local trigger -> SYN_SENT.
+	d, ok := EstimateTimeout(lab, v, []Op{Rs, Ls, Rsa}, 1, CheckSNI2, time.Second, 600*time.Second)
+	add("Remote SYN; SLEEP; Local.SYN; Remote.SA; Local Trigger", d, ok, "SYN_SENT", 60*time.Second)
+
+	// Local.SYN; Remote.SYN; Local.A; SLEEP; trigger -> SYN_RCVD. Uses an
+	// SNI-I domain: within the timeout the confused role exempts SNI-I.
+	d, ok = EstimateTimeout(lab, v, []Op{Ls, Rs, La}, 3, CheckSNI1, time.Second, 600*time.Second)
+	add("Local.SYN; Remote.SYN; Local.A; SLEEP; Local Trigger", d, ok, "SYN_RCVD", 105*time.Second)
+
+	// Local.SYN; Remote.SA; SLEEP; Remote.ACK; trigger -> ESTABLISHED.
+	d, ok = EstimateTimeout(lab, v, []Op{Ls, Rsa, Ra}, 2, CheckSNI2, time.Second, 600*time.Second)
+	add("Local.SYN; Remote.SA; SLEEP; Remote.ACK; Local Trigger", d, ok, "ESTABLISHED", 480*time.Second)
+
+	// Blocking-state holds.
+	d, ok = EstimateBlockTimeout(lab, v, DomainSNI1, CheckSNI1, time.Second, 600*time.Second)
+	add("Local Trigger(SNI-I); SLEEP", d, ok, "SNI-I", 75*time.Second)
+	d, ok = EstimateBlockTimeout(lab, v, DomainSNI2, CheckSNI2, time.Second, 600*time.Second)
+	add("Local Trigger(SNI-II); SLEEP", d, ok, "SNI-II", 420*time.Second)
+	d, ok = estimateSNI4Timeout(lab, v)
+	add("Local Trigger(SNI-IV); SLEEP", d, ok, "SNI-IV", 40*time.Second)
+	d, ok = estimateQUICTimeout(lab, v)
+	add("Local Trigger(QUIC); SLEEP", d, ok, "QUIC", 420*time.Second)
+	return rows
+}
+
+// estimateSNI4Timeout installs the SNI-IV drop-all (split-handshake prefix)
+// then bisects how long upstream packets stay dropped.
+func estimateSNI4Timeout(lab *topo.Lab, vantage string) (time.Duration, bool) {
+	probe := func(sleep time.Duration) bool {
+		v := vantageOf(lab, vantage)
+		f := NewFlow(lab, v.Stack, lab.US1, 443)
+		defer f.Close()
+		f.L(packet.FlagSYN, nil)
+		f.R(packet.FlagSYN, nil) // split handshake: role confusion
+		f.L(packet.FlagsSYNACK, nil)
+		f.R(packet.FlagACK, nil)
+		f.L(packet.FlagsPSHACK, CH(DomainSNI14)) // SNI-IV fires, drops all
+		f.Sleep(sleep)
+		before := len(f.RemoteGot)
+		f.L(packet.FlagsPSHACK, []byte("marker"))
+		return len(f.RemoteGot) == before // still dropping
+	}
+	return bisectBool(probe, time.Second, 600*time.Second)
+}
+
+func estimateQUICTimeout(lab *topo.Lab, vantage string) (time.Duration, bool) {
+	v := vantageOf(lab, vantage)
+	probe := func(sleep time.Duration) bool {
+		sport := v.Stack.EphemeralPort()
+		got := 0
+		lab.US1.BindUDP(443, func(p *packet.Packet) {
+			if p.UDP.SrcPort == sport {
+				got++
+			}
+		})
+		v.Stack.SendUDP(lab.US1.Addr(), sport, 443, quicTriggerPayload())
+		lab.Sim.Run()
+		lab.Sim.RunUntil(lab.Sim.Now() + sleep)
+		v.Stack.SendUDP(lab.US1.Addr(), sport, 443, []byte("after-sleep"))
+		lab.Sim.Run()
+		return got < 2 // the post-sleep packet was dropped
+	}
+	return bisectBool(probe, time.Second, 600*time.Second)
+}
+
+func quicTriggerPayload() []byte {
+	b := make([]byte, 1200)
+	b[0] = 0xc0
+	b[4] = 0x01
+	return b
+}
+
+// bisectBool finds the 1-second boundary where probe flips.
+func bisectBool(probe func(time.Duration) bool, lo, hi time.Duration) (time.Duration, bool) {
+	atLo := probe(lo)
+	if probe(hi) == atLo {
+		return 0, false
+	}
+	for hi-lo > time.Second {
+		mid := (lo + hi) / 2
+		if probe(mid) == atLo {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return hi, true
+}
+
+// Table8Row is one row of Table 8.
+type Table8Row struct {
+	Seq      string
+	Timeout  time.Duration
+	Found    bool
+	Action   string // PASS or DROP
+	PaperVal time.Duration
+	PaperAct string
+}
+
+// table8Sequences lists the 16 sequences of Table 8; the sleep goes after
+// the prefix, before the trigger. (The paper's "Ss" row is read as "Rs".)
+var table8Sequences = []struct {
+	label    string
+	seq      []Op
+	paperVal int
+	paperAct string
+}{
+	{"Lt", nil, 180, "DROP"},
+	{"Rs;Lt", []Op{Rs}, 30, "PASS"},
+	{"Rs;Ls;Lt", []Op{Rs, Ls}, 30, "PASS"},
+	{"Ls;Rs;Lt", []Op{Ls, Rs}, 180, "DROP"},
+	{"Rs;Ls;Rsa;Lt", []Op{Rs, Ls, Rsa}, 480, "PASS"},
+	{"Rs;Ls;Lsa;Lt", []Op{Rs, Ls, Lsa}, 180, "PASS"},
+	{"Rs;Ls;Rsa;Lsa;Lt", []Op{Rs, Ls, Rsa, Lsa}, 480, "PASS"},
+	{"Ra;Lt", []Op{Ra}, 480, "PASS"},
+	{"Ra;Lsa;Lt", []Op{Ra, Lsa}, 480, "PASS"},
+	{"Lsa;Lt", []Op{Lsa}, 420, "DROP"},
+	{"Rs;Lsa;Lt", []Op{Rs, Lsa}, 180, "PASS"},
+	{"Ra;Lsa;Ra;Lt", []Op{Ra, Lsa, Ra}, 480, "PASS"},
+	{"Rsa;Lt", []Op{Rsa}, 480, "PASS"},
+	{"Ls;Ra;Lt", []Op{Ls, Ra}, 180, "PASS"},
+	{"Rsa;Lsa;Lt", []Op{Rsa, Lsa}, 480, "PASS"},
+	{"La;Lt", []Op{La}, 480, "DROP"},
+}
+
+// Table8 measures action and timeout for each listed sequence with an
+// SNI-II trigger, as in the paper (t = SNI-II).
+func Table8(lab *topo.Lab) []Table8Row {
+	v := topo.ERTelecom
+	var rows []Table8Row
+	for _, s := range table8Sequences {
+		blockedNow := TimeoutProbe(lab, v, s.seq, len(s.seq), 0, CheckSNI2)
+		action := "PASS"
+		if blockedNow {
+			action = "DROP"
+		}
+		// Timeout: how long the prefix state persists — sleep between
+		// prefix and trigger. For empty prefixes, measure the blocking
+		// state's own timeout instead.
+		var d time.Duration
+		var ok bool
+		if len(s.seq) == 0 {
+			d, ok = EstimateBlockTimeout(lab, v, DomainSNI2, CheckSNI2, time.Second, 600*time.Second)
+		} else {
+			d, ok = EstimateTimeout(lab, v, s.seq, len(s.seq), CheckSNI2, time.Second, 600*time.Second)
+		}
+		rows = append(rows, Table8Row{
+			Seq: s.label, Timeout: d, Found: ok, Action: action,
+			PaperVal: time.Duration(s.paperVal) * time.Second, PaperAct: s.paperAct,
+		})
+	}
+	return rows
+}
+
+// RenderTable2 prints Table 2 with paper-vs-measured columns.
+func RenderTable2(rows []Table2Row) string {
+	t := report.NewTable("Table 2: state timeout measurements (measured vs paper)",
+		"Sequence", "State", "Measured", "Paper")
+	for _, r := range rows {
+		m := "none"
+		if r.Found {
+			m = fmt.Sprintf("%.0fs", r.Timeout.Seconds())
+		}
+		t.AddRow(r.Label, r.State, m, fmt.Sprintf("%.0fs", r.PaperVal.Seconds()))
+	}
+	return t.String()
+}
+
+// RenderTable8 prints Table 8.
+func RenderTable8(rows []Table8Row) string {
+	t := report.NewTable("Table 8: sequence timeout estimates (measured vs paper)",
+		"Sequence", "Action", "Paper-Action", "Timeout", "Paper-Timeout")
+	for _, r := range rows {
+		m := "none"
+		if r.Found {
+			m = fmt.Sprintf("%.0fs", r.Timeout.Seconds())
+		}
+		t.AddRow(r.Seq, r.Action, r.PaperAct, m, fmt.Sprintf("%.0fs", r.PaperVal.Seconds()))
+	}
+	return t.String()
+}

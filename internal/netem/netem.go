@@ -1,0 +1,268 @@
+// Package netem is a deterministic packet-level network emulator: hosts and
+// routers connected by links, longest-prefix-match routing (which makes the
+// asymmetric Russian routes of §7.1.1 directly expressible), TTL decrement
+// with ICMP Time Exceeded generation (enabling traceroute and TTL-limited
+// trigger probes), in-path middlebox chains on links, and packet capture.
+//
+// Middleboxes follow the XDP verdict model: for every packet crossing their
+// link they return Pass or Drop, and may inject packets of their own. The
+// TSPU device (internal/tspu), the ISP DPIs, and the comparator fragment
+// middleboxes all attach through this one interface.
+package netem
+
+import (
+	"fmt"
+	"net/netip"
+	"time"
+
+	"tspusim/internal/packet"
+	"tspusim/internal/sim"
+)
+
+// MustPrefix parses a CIDR prefix, panicking on error. For topology literals
+// and tests.
+func MustPrefix(s string) netip.Prefix { return netip.MustParsePrefix(s) }
+
+// Network owns the nodes and links of one emulated internet.
+type Network struct {
+	Sim   *sim.Sim
+	nodes map[string]*Node
+	links []*Link
+}
+
+// New creates an empty network driven by s.
+func New(s *sim.Sim) *Network {
+	return &Network{Sim: s, nodes: make(map[string]*Node)}
+}
+
+// Node returns the named node, or nil.
+func (n *Network) Node(name string) *Node { return n.nodes[name] }
+
+// Nodes returns all nodes (map iteration order is not deterministic; callers
+// that need determinism should track their own lists).
+func (n *Network) Links() []*Link { return n.links }
+
+// AddHost adds an end host. Hosts deliver packets addressed to them to their
+// handler and refuse to forward anything else.
+func (n *Network) AddHost(name string) *Node {
+	return n.addNode(name, false)
+}
+
+// AddRouter adds a router, which forwards packets per its routing table,
+// decrements TTL, and emits ICMP Time Exceeded when TTL reaches zero.
+func (n *Network) AddRouter(name string) *Node {
+	return n.addNode(name, true)
+}
+
+func (n *Network) addNode(name string, router bool) *Node {
+	if _, dup := n.nodes[name]; dup {
+		panic("netem: duplicate node name " + name)
+	}
+	node := &Node{net: n, name: name, router: router}
+	n.nodes[name] = node
+	return node
+}
+
+// Handler consumes packets locally delivered to a host.
+type Handler func(pkt *packet.Packet)
+
+// Node is a host or router.
+type Node struct {
+	net        *Network
+	name       string
+	router     bool
+	ifaces     []*Iface
+	routes     []route
+	hostRoutes map[netip.Addr]*Iface
+	handler    Handler
+	// promiscuous hosts accept packets for any destination address — used
+	// for "web farm" hosts that stand in for an entire prefix of servers.
+	promiscuous bool
+	// DropLocal counts locally-addressed packets discarded because the host
+	// had no handler; useful in tests.
+	DropLocal int
+}
+
+type route struct {
+	prefix netip.Prefix
+	out    *Iface
+}
+
+// hostRoutes indexes /32 routes for O(1) lookup; routers fronting many
+// hosts (endpoint access routers, scan populations) would otherwise pay a
+// linear scan per packet.
+
+// Name returns the node name.
+func (nd *Node) Name() string { return nd.name }
+
+// IsRouter reports whether the node forwards packets.
+func (nd *Node) IsRouter() bool { return nd.router }
+
+// Ifaces returns the node's interfaces in creation order.
+func (nd *Node) Ifaces() []*Iface { return nd.ifaces }
+
+// SetHandler installs the local delivery handler (hosts and router control
+// planes).
+func (nd *Node) SetHandler(h Handler) { nd.handler = h }
+
+// SetPromiscuous makes a host accept packets addressed to any destination,
+// standing in for every server in the prefix routed to it.
+func (nd *Node) SetPromiscuous(on bool) { nd.promiscuous = on }
+
+// AddIface creates an interface with the given address.
+func (nd *Node) AddIface(addr netip.Addr) *Iface {
+	ifc := &Iface{node: nd, addr: addr, index: len(nd.ifaces)}
+	nd.ifaces = append(nd.ifaces, ifc)
+	return ifc
+}
+
+// Addr returns the address of the node's first interface. Panics if the node
+// has no interfaces.
+func (nd *Node) Addr() netip.Addr {
+	if len(nd.ifaces) == 0 {
+		panic("netem: node " + nd.name + " has no interfaces")
+	}
+	return nd.ifaces[0].addr
+}
+
+// HasAddr reports whether a packet addressed to a is local to this node.
+func (nd *Node) HasAddr(a netip.Addr) bool {
+	for _, ifc := range nd.ifaces {
+		if ifc.addr == a {
+			return true
+		}
+	}
+	return false
+}
+
+// AddRoute installs a prefix route out the given interface. Longest prefix
+// wins; ties go to the most recently added route.
+func (nd *Node) AddRoute(prefix netip.Prefix, out *Iface) {
+	if out.node != nd {
+		panic("netem: route out of foreign interface")
+	}
+	if prefix.Bits() == 32 {
+		if nd.hostRoutes == nil {
+			nd.hostRoutes = make(map[netip.Addr]*Iface)
+		}
+		nd.hostRoutes[prefix.Addr()] = out
+		return
+	}
+	nd.routes = append(nd.routes, route{prefix, out})
+}
+
+// AddDefaultRoute installs 0.0.0.0/0 out the given interface.
+func (nd *Node) AddDefaultRoute(out *Iface) {
+	nd.AddRoute(netip.PrefixFrom(netip.AddrFrom4([4]byte{}), 0), out)
+}
+
+// Lookup returns the output interface for dst, or nil if unroutable.
+func (nd *Node) Lookup(dst netip.Addr) *Iface {
+	if out, ok := nd.hostRoutes[dst]; ok {
+		return out
+	}
+	var best *Iface
+	bestLen := -1
+	for _, r := range nd.routes {
+		if r.prefix.Contains(dst) && r.prefix.Bits() >= bestLen {
+			best, bestLen = r.out, r.prefix.Bits()
+		}
+	}
+	return best
+}
+
+// Send originates a packet from this node: it is routed out the node's
+// table without TTL decrement (the IP stack of the sender sets TTL).
+func (nd *Node) Send(pkt *packet.Packet) {
+	out := nd.Lookup(pkt.IP.Dst)
+	if out == nil || out.link == nil {
+		return // unroutable: silently dropped, like a missing default route
+	}
+	out.link.transmit(out, pkt.Clone())
+}
+
+// deliver handles a packet arriving at the node.
+func (nd *Node) deliver(in *Iface, pkt *packet.Packet) {
+	if nd.HasAddr(pkt.IP.Dst) || (nd.promiscuous && !nd.router) {
+		if nd.handler != nil {
+			nd.handler(pkt)
+		} else {
+			nd.DropLocal++
+		}
+		return
+	}
+	if !nd.router {
+		return // hosts do not forward
+	}
+	if pkt.IP.TTL <= 1 {
+		nd.sendTimeExceeded(in, pkt)
+		return
+	}
+	out := nd.Lookup(pkt.IP.Dst)
+	if out == nil || out.link == nil {
+		return
+	}
+	fwd := pkt.Clone()
+	fwd.IP.TTL--
+	out.link.transmit(out, fwd)
+}
+
+// sendTimeExceeded emits ICMP Time Exceeded to the packet source, embedding
+// the offending IP header + 8 bytes as real routers do, so traceroute can
+// correlate probes.
+func (nd *Node) sendTimeExceeded(in *Iface, orig *packet.Packet) {
+	if orig.IP.Protocol == packet.ProtoICMP && orig.ICMP != nil &&
+		(orig.ICMP.Type == packet.ICMPTimeExceed || orig.ICMP.Type == packet.ICMPUnreachable) {
+		return // never ICMP about ICMP errors
+	}
+	embed, err := orig.Marshal()
+	if err != nil {
+		return
+	}
+	if len(embed) > 28 {
+		embed = embed[:28]
+	}
+	reply := &packet.Packet{
+		IP: packet.IPv4{
+			TTL:      64,
+			Protocol: packet.ProtoICMP,
+			Src:      in.addr,
+			Dst:      orig.IP.Src,
+		},
+		ICMP: &packet.ICMP{Type: packet.ICMPTimeExceed, Payload: embed},
+	}
+	nd.Send(reply)
+}
+
+// Iface is a network interface: one address, at most one link.
+type Iface struct {
+	node  *Node
+	addr  netip.Addr
+	link  *Link
+	index int
+}
+
+// Addr returns the interface address.
+func (i *Iface) Addr() netip.Addr { return i.addr }
+
+// Node returns the owning node.
+func (i *Iface) Node() *Node { return i.node }
+
+// Link returns the attached link, or nil.
+func (i *Iface) Link() *Link { return i.link }
+
+func (i *Iface) String() string {
+	return fmt.Sprintf("%s[%d]=%s", i.node.name, i.index, i.addr)
+}
+
+// Connect joins two interfaces with a link of the given one-way delay.
+func (n *Network) Connect(a, b *Iface, delay time.Duration) *Link {
+	if a.link != nil || b.link != nil {
+		panic("netem: interface already linked")
+	}
+	l := &Link{net: n, a: a, b: b, delay: delay}
+	a.link = l
+	b.link = l
+	n.links = append(n.links, l)
+	return l
+}

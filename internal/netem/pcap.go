@@ -1,0 +1,58 @@
+package netem
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+)
+
+// WritePCAP serializes the capture to the classic libpcap format with
+// LINKTYPE_RAW (IPv4 packets, no link-layer header), so traces taken inside
+// the simulator open directly in Wireshark/tcpdump. Virtual timestamps are
+// written as seconds/microseconds since the epoch of the simulation.
+//
+// Only delivery records are written by default — the wire truth after
+// middlebox processing, which is what a tap at the far end would capture.
+// Set includeEntries to also write pre-middlebox copies (both sides of a
+// rewrite appear, like capturing on both device ports).
+func (c *Capture) WritePCAP(w io.Writer, includeEntries bool) error {
+	const (
+		magic       = 0xa1b2c3d4
+		verMajor    = 2
+		verMinor    = 4
+		snaplen     = 65535
+		linktypeRaw = 101 // LINKTYPE_RAW: raw IP
+	)
+	var hdr [24]byte
+	binary.LittleEndian.PutUint32(hdr[0:4], magic)
+	binary.LittleEndian.PutUint16(hdr[4:6], verMajor)
+	binary.LittleEndian.PutUint16(hdr[6:8], verMinor)
+	binary.LittleEndian.PutUint32(hdr[16:20], snaplen)
+	binary.LittleEndian.PutUint32(hdr[20:24], linktypeRaw)
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	for i, r := range c.Records {
+		if r.Entry && !includeEntries {
+			continue
+		}
+		wire, err := r.Pkt.Marshal()
+		if err != nil {
+			return fmt.Errorf("netem: record %d: %w", i, err)
+		}
+		var rec [16]byte
+		sec := uint32(r.Time.Seconds())
+		usec := uint32(r.Time.Microseconds() % 1_000_000)
+		binary.LittleEndian.PutUint32(rec[0:4], sec)
+		binary.LittleEndian.PutUint32(rec[4:8], usec)
+		binary.LittleEndian.PutUint32(rec[8:12], uint32(len(wire)))
+		binary.LittleEndian.PutUint32(rec[12:16], uint32(len(wire)))
+		if _, err := w.Write(rec[:]); err != nil {
+			return err
+		}
+		if _, err := w.Write(wire); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,105 @@
+package netem
+
+import (
+	"bytes"
+	"encoding/binary"
+	"testing"
+	"time"
+
+	"tspusim/internal/packet"
+)
+
+func TestWritePCAP(t *testing.T) {
+	s, n, client, _, _, server := lineTopology(t)
+	_ = n
+	cap := NewCapture("test")
+	// Tap the middle link.
+	var mid *Link
+	for _, l := range n.Links() {
+		mid = l
+	}
+	mid.Tap(cap)
+	server.SetHandler(func(p *packet.Packet) {})
+	client.Send(packet.NewTCP(client.Addr(), server.Addr(), 40000, 443, packet.FlagSYN, 1, 0, []byte("x")))
+	s.Run()
+
+	var buf bytes.Buffer
+	if err := cap.WritePCAP(&buf, false); err != nil {
+		t.Fatal(err)
+	}
+	b := buf.Bytes()
+	if len(b) < 24+16+20 {
+		t.Fatalf("pcap too short: %d bytes", len(b))
+	}
+	if binary.LittleEndian.Uint32(b[0:4]) != 0xa1b2c3d4 {
+		t.Fatal("bad magic")
+	}
+	if binary.LittleEndian.Uint32(b[20:24]) != 101 {
+		t.Fatal("bad linktype")
+	}
+	// Walk every record and re-parse the embedded IP packet.
+	off := 24
+	records := 0
+	for off < len(b) {
+		if off+16 > len(b) {
+			t.Fatal("truncated record header")
+		}
+		caplen := int(binary.LittleEndian.Uint32(b[off+8 : off+12]))
+		pktBytes := b[off+16 : off+16+caplen]
+		if _, err := packet.Parse(pktBytes); err != nil {
+			t.Fatalf("record %d unparseable: %v", records, err)
+		}
+		off += 16 + caplen
+		records++
+	}
+	if records == 0 {
+		t.Fatal("no records written")
+	}
+}
+
+func TestWritePCAPIncludesEntries(t *testing.T) {
+	s, n, client, _, _, server := lineTopology(t)
+	cap := NewCapture("both")
+	n.Links()[1].Tap(cap)
+	server.SetHandler(func(p *packet.Packet) {})
+	client.Send(packet.NewTCP(client.Addr(), server.Addr(), 1, 443, packet.FlagSYN, 0, 0, nil))
+	s.Run()
+
+	count := func(includeEntries bool) int {
+		var buf bytes.Buffer
+		if err := cap.WritePCAP(&buf, includeEntries); err != nil {
+			t.Fatal(err)
+		}
+		b := buf.Bytes()
+		off, n := 24, 0
+		for off < len(b) {
+			caplen := int(binary.LittleEndian.Uint32(b[off+8 : off+12]))
+			off += 16 + caplen
+			n++
+		}
+		return n
+	}
+	if count(true) != 2*count(false) {
+		t.Fatalf("entries not doubled: %d vs %d", count(true), count(false))
+	}
+}
+
+func TestWritePCAPTimestamps(t *testing.T) {
+	s, n, client, _, _, server := lineTopology(t)
+	cap := NewCapture("ts")
+	n.Links()[1].Tap(cap)
+	server.SetHandler(func(p *packet.Packet) {})
+	s.After(3*time.Second+500*time.Millisecond, func() {
+		client.Send(packet.NewTCP(client.Addr(), server.Addr(), 1, 443, packet.FlagSYN, 0, 0, nil))
+	})
+	s.Run()
+	var buf bytes.Buffer
+	if err := cap.WritePCAP(&buf, false); err != nil {
+		t.Fatal(err)
+	}
+	b := buf.Bytes()
+	sec := binary.LittleEndian.Uint32(b[24:28])
+	if sec != 3 {
+		t.Fatalf("timestamp sec = %d, want 3", sec)
+	}
+}

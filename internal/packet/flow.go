@@ -1,0 +1,76 @@
+package packet
+
+import (
+	"fmt"
+	"net/netip"
+)
+
+// FlowKey identifies a transport flow by 5-tuple. Following the gopacket
+// Flow model, a key and its Reverse describe the two directions of one
+// connection; Canonical gives a direction-independent form for map lookups.
+type FlowKey struct {
+	Proto            Protocol
+	Src, Dst         netip.Addr
+	SrcPort, DstPort uint16
+}
+
+// FlowOf extracts the flow key of a packet. For ICMP and raw packets the
+// ports are zero, so all ICMP between two hosts shares one key — matching
+// how the TSPU applies IP-based blocking "regardless of packet payload or
+// TCP ports" (§5.2).
+func FlowOf(p *Packet) FlowKey {
+	return FlowKey{
+		Proto:   p.IP.Protocol,
+		Src:     p.IP.Src,
+		Dst:     p.IP.Dst,
+		SrcPort: p.SrcPort(),
+		DstPort: p.DstPort(),
+	}
+}
+
+// Reverse returns the key of the opposite direction.
+func (k FlowKey) Reverse() FlowKey {
+	return FlowKey{Proto: k.Proto, Src: k.Dst, Dst: k.Src, SrcPort: k.DstPort, DstPort: k.SrcPort}
+}
+
+// Canonical returns a direction-independent key: the endpoint with the lower
+// (addr, port) sorts first. Both directions of a flow canonicalize to the
+// same value.
+func (k FlowKey) Canonical() FlowKey {
+	if k.Src.Compare(k.Dst) < 0 {
+		return k
+	}
+	if k.Src.Compare(k.Dst) == 0 && k.SrcPort <= k.DstPort {
+		return k
+	}
+	return k.Reverse()
+}
+
+func (k FlowKey) String() string {
+	return fmt.Sprintf("%s %s:%d>%s:%d", k.Proto, k.Src, k.SrcPort, k.Dst, k.DstPort)
+}
+
+// FragKey identifies a fragment queue. Per §5.3.1 the TSPU keys its fragment
+// state on the (source, destination, IPID) tuple.
+type FragKey struct {
+	Src, Dst netip.Addr
+	ID       uint16
+}
+
+// FragKeyOf extracts the fragment-queue key of a packet.
+func FragKeyOf(p *Packet) FragKey {
+	return FragKey{Src: p.IP.Src, Dst: p.IP.Dst, ID: p.IP.ID}
+}
+
+// MustAddr parses a dotted-quad address, panicking on error. For use in
+// tests, topology literals, and examples.
+func MustAddr(s string) netip.Addr {
+	a, err := netip.ParseAddr(s)
+	if err != nil {
+		panic(err)
+	}
+	if !a.Is4() {
+		panic("packet: not an IPv4 address: " + s)
+	}
+	return a
+}

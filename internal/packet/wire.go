@@ -1,0 +1,287 @@
+package packet
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"net/netip"
+)
+
+// Errors returned by Parse.
+var (
+	ErrTruncated   = errors.New("packet: truncated")
+	ErrBadVersion  = errors.New("packet: not IPv4")
+	ErrBadChecksum = errors.New("packet: bad checksum")
+	ErrBadHeader   = errors.New("packet: malformed header")
+)
+
+// Marshal serializes the packet to wire bytes with valid IP and transport
+// checksums. Non-first fragments marshal their RawPayload verbatim.
+func (p *Packet) Marshal() ([]byte, error) {
+	payload, err := p.marshalTransport()
+	if err != nil {
+		return nil, err
+	}
+	total := 20 + len(payload)
+	if total > 65535 {
+		return nil, fmt.Errorf("packet: total length %d exceeds 65535", total)
+	}
+	b := make([]byte, total)
+	b[0] = 0x45 // version 4, IHL 5
+	b[1] = p.IP.TOS
+	binary.BigEndian.PutUint16(b[2:4], uint16(total))
+	binary.BigEndian.PutUint16(b[4:6], p.IP.ID)
+	frag := p.IP.FragOffset / 8
+	if p.IP.FragOffset%8 != 0 {
+		return nil, fmt.Errorf("packet: fragment offset %d not multiple of 8", p.IP.FragOffset)
+	}
+	if frag > 0x1fff {
+		return nil, fmt.Errorf("packet: fragment offset %d too large", p.IP.FragOffset)
+	}
+	flagsFrag := frag
+	if p.IP.DF {
+		flagsFrag |= 0x4000
+	}
+	if p.IP.MF {
+		flagsFrag |= 0x2000
+	}
+	binary.BigEndian.PutUint16(b[6:8], flagsFrag)
+	b[8] = p.IP.TTL
+	b[9] = uint8(p.IP.Protocol)
+	src := p.IP.Src.As4()
+	dst := p.IP.Dst.As4()
+	copy(b[12:16], src[:])
+	copy(b[16:20], dst[:])
+	binary.BigEndian.PutUint16(b[10:12], 0)
+	binary.BigEndian.PutUint16(b[10:12], checksum(b[:20]))
+	copy(b[20:], payload)
+	return b, nil
+}
+
+func (p *Packet) marshalTransport() ([]byte, error) {
+	if p.IP.FragOffset != 0 {
+		// Non-first fragment: opaque payload bytes.
+		return p.RawPayload, nil
+	}
+	switch {
+	case p.TCP != nil:
+		return p.marshalTCP()
+	case p.UDP != nil:
+		return p.marshalUDP()
+	case p.ICMP != nil:
+		return p.marshalICMP()
+	default:
+		return p.RawPayload, nil
+	}
+}
+
+func (p *Packet) marshalTCP() ([]byte, error) {
+	t := p.TCP
+	if len(t.Options)%4 != 0 {
+		return nil, fmt.Errorf("packet: TCP options length %d not multiple of 4", len(t.Options))
+	}
+	if len(t.Options) > 40 {
+		return nil, fmt.Errorf("packet: TCP options too long (%d bytes)", len(t.Options))
+	}
+	hlen := 20 + len(t.Options)
+	b := make([]byte, hlen+len(t.Payload))
+	binary.BigEndian.PutUint16(b[0:2], t.SrcPort)
+	binary.BigEndian.PutUint16(b[2:4], t.DstPort)
+	binary.BigEndian.PutUint32(b[4:8], t.Seq)
+	binary.BigEndian.PutUint32(b[8:12], t.Ack)
+	b[12] = uint8(hlen/4) << 4
+	b[13] = uint8(t.Flags)
+	binary.BigEndian.PutUint16(b[14:16], t.Window)
+	binary.BigEndian.PutUint16(b[18:20], t.Urgent)
+	copy(b[20:], t.Options)
+	copy(b[hlen:], t.Payload)
+	cs := pseudoChecksum(p.IP.Src, p.IP.Dst, ProtoTCP, b)
+	binary.BigEndian.PutUint16(b[16:18], cs)
+	return b, nil
+}
+
+func (p *Packet) marshalUDP() ([]byte, error) {
+	u := p.UDP
+	if 8+len(u.Payload) > 65535 {
+		return nil, fmt.Errorf("packet: UDP payload too long")
+	}
+	b := make([]byte, 8+len(u.Payload))
+	binary.BigEndian.PutUint16(b[0:2], u.SrcPort)
+	binary.BigEndian.PutUint16(b[2:4], u.DstPort)
+	binary.BigEndian.PutUint16(b[4:6], uint16(len(b)))
+	copy(b[8:], u.Payload)
+	cs := pseudoChecksum(p.IP.Src, p.IP.Dst, ProtoUDP, b)
+	if cs == 0 {
+		cs = 0xffff // RFC 768: zero checksum means "none"; transmit as all-ones
+	}
+	binary.BigEndian.PutUint16(b[6:8], cs)
+	return b, nil
+}
+
+func (p *Packet) marshalICMP() ([]byte, error) {
+	ic := p.ICMP
+	b := make([]byte, 8+len(ic.Payload))
+	b[0] = uint8(ic.Type)
+	b[1] = ic.Code
+	binary.BigEndian.PutUint16(b[4:6], ic.ID)
+	binary.BigEndian.PutUint16(b[6:8], ic.Seq)
+	copy(b[8:], ic.Payload)
+	binary.BigEndian.PutUint16(b[2:4], checksum(b))
+	return b, nil
+}
+
+// Parse decodes wire bytes into a Packet, verifying the IP header checksum
+// and, for zero-offset packets, the transport checksum.
+func Parse(b []byte) (*Packet, error) {
+	if len(b) < 20 {
+		return nil, ErrTruncated
+	}
+	if b[0]>>4 != 4 {
+		return nil, ErrBadVersion
+	}
+	ihl := int(b[0]&0x0f) * 4
+	if ihl < 20 || len(b) < ihl {
+		return nil, ErrBadHeader
+	}
+	if checksum(b[:ihl]) != 0 {
+		return nil, fmt.Errorf("%w: IP header", ErrBadChecksum)
+	}
+	total := int(binary.BigEndian.Uint16(b[2:4]))
+	if total < ihl || total > len(b) {
+		return nil, fmt.Errorf("%w: total length %d", ErrBadHeader, total)
+	}
+	flagsFrag := binary.BigEndian.Uint16(b[6:8])
+	p := &Packet{IP: IPv4{
+		TOS:        b[1],
+		ID:         binary.BigEndian.Uint16(b[4:6]),
+		DF:         flagsFrag&0x4000 != 0,
+		MF:         flagsFrag&0x2000 != 0,
+		FragOffset: (flagsFrag & 0x1fff) * 8,
+		TTL:        b[8],
+		Protocol:   Protocol(b[9]),
+		Src:        netip.AddrFrom4([4]byte(b[12:16])),
+		Dst:        netip.AddrFrom4([4]byte(b[16:20])),
+	}}
+	payload := b[ihl:total]
+	if p.IP.FragOffset != 0 {
+		p.RawPayload = append([]byte(nil), payload...)
+		return p, nil
+	}
+	var err error
+	switch p.IP.Protocol {
+	case ProtoTCP:
+		err = p.parseTCP(payload)
+	case ProtoUDP:
+		err = p.parseUDP(payload)
+	case ProtoICMP:
+		err = p.parseICMP(payload)
+	default:
+		p.RawPayload = append([]byte(nil), payload...)
+	}
+	if err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+func (p *Packet) parseTCP(b []byte) error {
+	if len(b) < 20 {
+		return fmt.Errorf("%w: TCP header", ErrTruncated)
+	}
+	doff := int(b[12]>>4) * 4
+	if doff < 20 || doff > len(b) {
+		return fmt.Errorf("%w: TCP data offset %d", ErrBadHeader, doff)
+	}
+	// Only verify the transport checksum on unfragmented packets: a
+	// first-fragment's TCP checksum covers bytes not present here.
+	if !p.IP.MF && pseudoChecksum(p.IP.Src, p.IP.Dst, ProtoTCP, b) != 0 {
+		return fmt.Errorf("%w: TCP", ErrBadChecksum)
+	}
+	p.TCP = &TCP{
+		SrcPort: binary.BigEndian.Uint16(b[0:2]),
+		DstPort: binary.BigEndian.Uint16(b[2:4]),
+		Seq:     binary.BigEndian.Uint32(b[4:8]),
+		Ack:     binary.BigEndian.Uint32(b[8:12]),
+		Flags:   TCPFlags(b[13]),
+		Window:  binary.BigEndian.Uint16(b[14:16]),
+		Urgent:  binary.BigEndian.Uint16(b[18:20]),
+		Options: append([]byte(nil), b[20:doff]...),
+		Payload: append([]byte(nil), b[doff:]...),
+	}
+	return nil
+}
+
+func (p *Packet) parseUDP(b []byte) error {
+	if len(b) < 8 {
+		return fmt.Errorf("%w: UDP header", ErrTruncated)
+	}
+	ulen := int(binary.BigEndian.Uint16(b[4:6]))
+	if ulen < 8 || ulen > len(b) {
+		return fmt.Errorf("%w: UDP length %d", ErrBadHeader, ulen)
+	}
+	if cs := binary.BigEndian.Uint16(b[6:8]); cs != 0 && !p.IP.MF {
+		if pseudoChecksum(p.IP.Src, p.IP.Dst, ProtoUDP, b[:ulen]) != 0 {
+			return fmt.Errorf("%w: UDP", ErrBadChecksum)
+		}
+	}
+	p.UDP = &UDP{
+		SrcPort: binary.BigEndian.Uint16(b[0:2]),
+		DstPort: binary.BigEndian.Uint16(b[2:4]),
+		Payload: append([]byte(nil), b[8:ulen]...),
+	}
+	return nil
+}
+
+func (p *Packet) parseICMP(b []byte) error {
+	if len(b) < 8 {
+		return fmt.Errorf("%w: ICMP header", ErrTruncated)
+	}
+	if checksum(b) != 0 {
+		return fmt.Errorf("%w: ICMP", ErrBadChecksum)
+	}
+	p.ICMP = &ICMP{
+		Type:    ICMPType(b[0]),
+		Code:    b[1],
+		ID:      binary.BigEndian.Uint16(b[4:6]),
+		Seq:     binary.BigEndian.Uint16(b[6:8]),
+		Payload: append([]byte(nil), b[8:]...),
+	}
+	return nil
+}
+
+// checksum computes the Internet checksum (RFC 1071) of b. Computing it over
+// data that already includes a valid checksum field yields zero.
+func checksum(b []byte) uint16 {
+	var sum uint32
+	for i := 0; i+1 < len(b); i += 2 {
+		sum += uint32(binary.BigEndian.Uint16(b[i : i+2]))
+	}
+	if len(b)%2 == 1 {
+		sum += uint32(b[len(b)-1]) << 8
+	}
+	for sum > 0xffff {
+		sum = (sum & 0xffff) + (sum >> 16)
+	}
+	return ^uint16(sum)
+}
+
+// pseudoChecksum computes the TCP/UDP checksum including the IPv4
+// pseudo-header.
+func pseudoChecksum(src, dst netip.Addr, proto Protocol, seg []byte) uint16 {
+	var sum uint32
+	s, d := src.As4(), dst.As4()
+	sum += uint32(binary.BigEndian.Uint16(s[0:2])) + uint32(binary.BigEndian.Uint16(s[2:4]))
+	sum += uint32(binary.BigEndian.Uint16(d[0:2])) + uint32(binary.BigEndian.Uint16(d[2:4]))
+	sum += uint32(proto)
+	sum += uint32(len(seg))
+	for i := 0; i+1 < len(seg); i += 2 {
+		sum += uint32(binary.BigEndian.Uint16(seg[i : i+2]))
+	}
+	if len(seg)%2 == 1 {
+		sum += uint32(seg[len(seg)-1]) << 8
+	}
+	for sum > 0xffff {
+		sum = (sum & 0xffff) + (sum >> 16)
+	}
+	return ^uint16(sum)
+}

@@ -1,0 +1,70 @@
+// Package quicx builds minimal QUIC long-header Initial packets and
+// implements the exact fingerprint the TSPU uses to detect QUIC (§5.2,
+// Fig. 14): a UDP payload whose second through fifth bytes spell the QUIC
+// version, filtered only for version 1 (0x00000001), destined to UDP port
+// 443, with at least 1001 bytes of payload.
+package quicx
+
+import "encoding/binary"
+
+// QUIC version numbers relevant to the paper.
+const (
+	Version1        uint32 = 0x00000001 // targeted by the TSPU
+	VersionDraft29  uint32 = 0xff00001d // evades (per [54])
+	VersionQUICPing uint32 = 0xbabababa // quicping probe; evades
+)
+
+// Fingerprint constants per Fig. 14 and [68].
+const (
+	// MinTriggerPayload is the minimum UDP payload length that triggers
+	// QUIC filtering.
+	MinTriggerPayload = 1001
+	// TriggerPort is the UDP destination port the filter applies to.
+	TriggerPort = 443
+)
+
+// BuildInitial returns a UDP payload shaped like a QUIC long-header Initial:
+// first byte with the long-header and fixed bits set, then the version, then
+// filler up to size bytes (Fig. 14 uses 0xff filler). size is clamped below
+// at the 6-byte header minimum.
+func BuildInitial(version uint32, size int) []byte {
+	if size < 6 {
+		size = 6
+	}
+	b := make([]byte, size)
+	b[0] = 0xc0 // long header (0x80) | fixed bit (0x40), Initial type 0
+	binary.BigEndian.PutUint32(b[1:5], version)
+	for i := 5; i < size; i++ {
+		b[i] = 0xff
+	}
+	return b
+}
+
+// Version extracts the long-header version from a UDP payload, or 0 if the
+// payload is too short or not a long-header packet.
+func Version(payload []byte) uint32 {
+	if len(payload) < 5 || payload[0]&0x80 == 0 {
+		return 0
+	}
+	return binary.BigEndian.Uint32(payload[1:5])
+}
+
+// MatchesTSPUFingerprint reports whether a UDP packet with the given
+// destination port and payload matches the TSPU's QUIC filter. Only the
+// plaintext version field and the length matter — the rest of the payload is
+// not inspected (Fig. 14 is almost entirely 0xff filler).
+func MatchesTSPUFingerprint(dstPort uint16, payload []byte) bool {
+	if dstPort != TriggerPort {
+		return false
+	}
+	if len(payload) < MinTriggerPayload {
+		return false
+	}
+	if len(payload) < 5 {
+		return false
+	}
+	// The fingerprint bytes are positions 1..4 == 0x00 00 00 01; the paper
+	// notes it matches "starting from the second byte" regardless of header
+	// form bits.
+	return payload[1] == 0x00 && payload[2] == 0x00 && payload[3] == 0x00 && payload[4] == 0x01
+}

@@ -1,0 +1,92 @@
+package quicx
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestV1Triggers(t *testing.T) {
+	p := BuildInitial(Version1, 1200)
+	if !MatchesTSPUFingerprint(443, p) {
+		t.Fatal("v1 initial of 1200 bytes to :443 must trigger")
+	}
+}
+
+func TestBoundaryLength(t *testing.T) {
+	// 1001 bytes is the threshold; 1000 must not trigger.
+	if MatchesTSPUFingerprint(443, BuildInitial(Version1, 1000)) {
+		t.Fatal("1000-byte payload must not trigger")
+	}
+	if !MatchesTSPUFingerprint(443, BuildInitial(Version1, 1001)) {
+		t.Fatal("1001-byte payload must trigger")
+	}
+}
+
+func TestOtherVersionsEvade(t *testing.T) {
+	for _, v := range []uint32{VersionDraft29, VersionQUICPing, 0x00000002} {
+		if MatchesTSPUFingerprint(443, BuildInitial(v, 1200)) {
+			t.Fatalf("version %08x must not trigger", v)
+		}
+	}
+}
+
+func TestOtherPortsEvade(t *testing.T) {
+	for _, port := range []uint16{80, 8443, 4443, 444} {
+		if MatchesTSPUFingerprint(port, BuildInitial(Version1, 1200)) {
+			t.Fatalf("port %d must not trigger", port)
+		}
+	}
+}
+
+func TestVersionExtraction(t *testing.T) {
+	if Version(BuildInitial(Version1, 100)) != Version1 {
+		t.Fatal("v1 extraction failed")
+	}
+	if Version(BuildInitial(VersionDraft29, 100)) != VersionDraft29 {
+		t.Fatal("draft-29 extraction failed")
+	}
+	if Version([]byte{0x40, 0, 0, 0, 1}) != 0 {
+		t.Fatal("short-header packet must yield version 0")
+	}
+	if Version([]byte{0xc0, 0}) != 0 {
+		t.Fatal("truncated packet must yield version 0")
+	}
+}
+
+func TestFingerprintIgnoresFirstByte(t *testing.T) {
+	// Per the paper, the match starts at the second byte: even a payload
+	// without long-header bits but with the version bytes matches.
+	p := BuildInitial(Version1, 1200)
+	p[0] = 0x00
+	if !MatchesTSPUFingerprint(443, p) {
+		t.Fatal("fingerprint should not depend on the first byte")
+	}
+}
+
+func TestFingerprintIgnoresTail(t *testing.T) {
+	p := BuildInitial(Version1, 1200)
+	for i := 5; i < len(p); i++ {
+		p[i] = byte(i)
+	}
+	if !MatchesTSPUFingerprint(443, p) {
+		t.Fatal("fingerprint should ignore bytes after the version")
+	}
+}
+
+func TestPropertyOnlyV1Matches(t *testing.T) {
+	f := func(v uint32, size uint16) bool {
+		n := int(size)%2000 + 1001
+		p := BuildInitial(v, n)
+		matched := MatchesTSPUFingerprint(443, p)
+		return matched == (v == Version1)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBuildInitialClampsSize(t *testing.T) {
+	if len(BuildInitial(Version1, 0)) != 6 {
+		t.Fatal("size clamp failed")
+	}
+}

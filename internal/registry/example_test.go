@@ -1,0 +1,27 @@
+package registry_test
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"tspusim/internal/registry"
+)
+
+func ExampleParse() {
+	dump := `# z-i format: ip;domain;url;agency;order;date
+5.45.67.89;kasino-azart.ru;http://kasino-azart.ru/;ФНС;2-6-27/2022;2022-01-17
+94.100.180.1 | 94.100.180.2;newsportal.io;;Генпрокуратура;27-31-2020/Ид2145;2022-03-04
+`
+	entries, _ := registry.Parse(strings.NewReader(dump))
+	for _, e := range entries {
+		fmt.Printf("%s added %s by %s (%d ips)\n",
+			e.Domain, e.Added.Format("2006-01-02"), e.Agency, len(e.IPs))
+	}
+	war := time.Date(2022, 2, 24, 0, 0, 0, 0, time.UTC)
+	fmt.Println("wartime additions:", len(registry.AddedSince(entries, war)))
+	// Output:
+	// kasino-azart.ru added 2022-01-17 by ФНС (1 ips)
+	// newsportal.io added 2022-03-04 by Генпрокуратура (2 ips)
+	// wartime additions: 1
+}

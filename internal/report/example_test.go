@@ -1,0 +1,30 @@
+package report_test
+
+import (
+	"fmt"
+
+	"tspusim/internal/report"
+)
+
+func ExampleTable() {
+	t := report.NewTable("demo", "Vantage", "Blocked")
+	t.AddRow("rostelecom", 9655)
+	t.AddRow("obit", 3943)
+	fmt.Print(t.String())
+	// Output:
+	// == demo ==
+	// Vantage     Blocked
+	// ----------  -------
+	// rostelecom  9655
+	// obit        3943
+}
+
+func ExampleContingency() {
+	c := &report.Contingency{Title: "demo", RowName: "IP", ColName: "Echo"}
+	c.Add(true, true)
+	c.Add(true, false)
+	c.Add(false, false)
+	c.Add(false, false)
+	fmt.Printf("%.2f\n", c.Hamming())
+	// Output: 0.25
+}

@@ -1,0 +1,193 @@
+// Package report renders experiment results as aligned text tables,
+// histograms, and contingency matrices — the forms the paper's tables and
+// figures take. It is deliberately dependency-free so every experiment's
+// output is plain text reproducible in CI logs.
+package report
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Table is a simple aligned text table.
+type Table struct {
+	Title   string
+	Headers []string
+	rows    [][]string
+}
+
+// NewTable creates a table with headers.
+func NewTable(title string, headers ...string) *Table {
+	return &Table{Title: title, Headers: headers}
+}
+
+// AddRow appends a row; values are stringified with %v.
+func (t *Table) AddRow(cells ...any) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case float64:
+			row[i] = fmt.Sprintf("%.4g", v)
+		default:
+			row[i] = fmt.Sprint(v)
+		}
+	}
+	t.rows = append(t.rows, row)
+}
+
+// NumRows reports the number of data rows.
+func (t *Table) NumRows() int { return len(t.rows) }
+
+// String renders the table.
+func (t *Table) String() string {
+	widths := make([]int, len(t.Headers))
+	for i, h := range t.Headers {
+		widths[i] = len(h)
+	}
+	for _, r := range t.rows {
+		for i, c := range r {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var b strings.Builder
+	if t.Title != "" {
+		fmt.Fprintf(&b, "== %s ==\n", t.Title)
+	}
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			if i == len(cells)-1 {
+				b.WriteString(c) // no trailing padding
+			} else {
+				fmt.Fprintf(&b, "%-*s", widths[i], c)
+			}
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.Headers)
+	sep := make([]string, len(t.Headers))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	writeRow(sep)
+	for _, r := range t.rows {
+		writeRow(r)
+	}
+	return b.String()
+}
+
+// Hist is an integer-bucket histogram rendered with bars.
+type Hist struct {
+	Title  string
+	counts map[int]int
+	total  int
+}
+
+// NewHist creates an empty histogram.
+func NewHist(title string) *Hist {
+	return &Hist{Title: title, counts: make(map[int]int)}
+}
+
+// Add increments bucket b.
+func (h *Hist) Add(b int) {
+	h.counts[b]++
+	h.total++
+}
+
+// AddN increments bucket b by n.
+func (h *Hist) AddN(b, n int) {
+	h.counts[b] += n
+	h.total += n
+}
+
+// Count returns the count in bucket b.
+func (h *Hist) Count(b int) int { return h.counts[b] }
+
+// Total returns the number of samples.
+func (h *Hist) Total() int { return h.total }
+
+// FracAtOrBelow returns the fraction of samples in buckets <= b.
+func (h *Hist) FracAtOrBelow(b int) float64 {
+	if h.total == 0 {
+		return 0
+	}
+	n := 0
+	for k, c := range h.counts {
+		if k <= b {
+			n += c
+		}
+	}
+	return float64(n) / float64(h.total)
+}
+
+// String renders the histogram with proportional bars.
+func (h *Hist) String() string {
+	var keys []int
+	maxC := 1
+	for k, c := range h.counts {
+		keys = append(keys, k)
+		if c > maxC {
+			maxC = c
+		}
+	}
+	sort.Ints(keys)
+	var b strings.Builder
+	if h.Title != "" {
+		fmt.Fprintf(&b, "== %s ==\n", h.Title)
+	}
+	for _, k := range keys {
+		c := h.counts[k]
+		bar := strings.Repeat("#", 1+c*40/maxC)
+		fmt.Fprintf(&b, "%4d | %-41s %d (%.1f%%)\n", k, bar, c, 100*float64(c)/float64(h.total))
+	}
+	return b.String()
+}
+
+// Contingency is a 2x2 contingency matrix with Hamming distance, matching
+// Table 5's presentation.
+type Contingency struct {
+	Title            string
+	RowName, ColName string
+	// NN, NB, BN, BB: counts by (row, col) where N=negative, B=positive.
+	NN, NB, BN, BB int
+}
+
+// Add records one observation.
+func (c *Contingency) Add(row, col bool) {
+	switch {
+	case !row && !col:
+		c.NN++
+	case !row && col:
+		c.NB++
+	case row && !col:
+		c.BN++
+	default:
+		c.BB++
+	}
+}
+
+// Total returns the number of observations.
+func (c *Contingency) Total() int { return c.NN + c.NB + c.BN + c.BB }
+
+// Hamming returns the fraction of disagreeing observations, the metric
+// Table 5 reports.
+func (c *Contingency) Hamming() float64 {
+	t := c.Total()
+	if t == 0 {
+		return 0
+	}
+	return float64(c.NB+c.BN) / float64(t)
+}
+
+// String renders the matrix.
+func (c *Contingency) String() string {
+	t := NewTable(c.Title, "", c.ColName+" (N)", c.ColName+" (B)")
+	t.AddRow(c.RowName+" (N)", c.NN, c.NB)
+	t.AddRow(c.RowName+" (B)", c.BN, c.BB)
+	return t.String() + fmt.Sprintf("Hamming distance: %.4f\n", c.Hamming())
+}

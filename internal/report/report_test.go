@@ -1,0 +1,84 @@
+package report
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTableRendering(t *testing.T) {
+	tb := NewTable("Table 1", "Vantage", "SNI-I", "QUIC")
+	tb.AddRow("rostelecom", 0.084, "0.02%")
+	tb.AddRow("obit", 0.14, "0.00%")
+	s := tb.String()
+	if !strings.Contains(s, "Table 1") || !strings.Contains(s, "rostelecom") {
+		t.Fatalf("render:\n%s", s)
+	}
+	lines := strings.Split(strings.TrimSpace(s), "\n")
+	if len(lines) != 5 { // title, header, sep, 2 rows
+		t.Fatalf("lines = %d:\n%s", len(lines), s)
+	}
+	if tb.NumRows() != 2 {
+		t.Fatal("NumRows wrong")
+	}
+	// Columns aligned: header and rows share the first column width.
+	if !strings.HasPrefix(lines[3], "rostelecom") {
+		t.Fatalf("alignment broken:\n%s", s)
+	}
+}
+
+func TestHist(t *testing.T) {
+	h := NewHist("hops")
+	for i := 0; i < 7; i++ {
+		h.Add(1)
+	}
+	h.AddN(2, 3)
+	h.Add(5)
+	if h.Total() != 11 || h.Count(1) != 7 {
+		t.Fatalf("total=%d count1=%d", h.Total(), h.Count(1))
+	}
+	got := h.FracAtOrBelow(2)
+	if got < 0.90 || got > 0.92 {
+		t.Fatalf("FracAtOrBelow(2) = %v", got)
+	}
+	s := h.String()
+	if !strings.Contains(s, "#") || !strings.Contains(s, "hops") {
+		t.Fatalf("render:\n%s", s)
+	}
+}
+
+func TestContingency(t *testing.T) {
+	c := &Contingency{Title: "IP vs Echo", RowName: "IP", ColName: "Echo"}
+	for i := 0; i < 673; i++ {
+		c.Add(false, false)
+	}
+	for i := 0; i < 12; i++ {
+		c.Add(false, true)
+	}
+	for i := 0; i < 44; i++ {
+		c.Add(true, false)
+	}
+	for i := 0; i < 405; i++ {
+		c.Add(true, true)
+	}
+	if c.Total() != 1134 {
+		t.Fatalf("total = %d", c.Total())
+	}
+	h := c.Hamming()
+	if h < 0.049 || h > 0.050 {
+		t.Fatalf("hamming = %v, want ~0.0494 (Table 5)", h)
+	}
+	if !strings.Contains(c.String(), "Hamming") {
+		t.Fatal("render missing hamming")
+	}
+}
+
+func TestEmptyHistAndContingency(t *testing.T) {
+	h := NewHist("empty")
+	if h.FracAtOrBelow(5) != 0 {
+		t.Fatal("empty hist frac")
+	}
+	c := &Contingency{}
+	if c.Hamming() != 0 {
+		t.Fatal("empty contingency hamming")
+	}
+}

@@ -1,0 +1,171 @@
+package tlsx
+
+import "encoding/binary"
+
+// Alteration is a named byte-level mutation of a serialized ClientHello,
+// used to map which positions the TSPU inspects (Fig. 13). Apply returns a
+// mutated copy; it never modifies its input.
+type Alteration struct {
+	Name string
+	// Structural reports whether the mutation corrupts a type/length field
+	// that a structural parser depends on (the paper found these change the
+	// censorship behavior) as opposed to fields the TSPU ignores.
+	Structural bool
+	Apply      func(ch []byte) []byte
+}
+
+func mutate(ch []byte, f func(b []byte)) []byte {
+	cp := append([]byte(nil), ch...)
+	f(cp)
+	return cp
+}
+
+// Alterations returns the fuzzing strategies of §5.2. Each mutates a
+// serialized ClientHello that was built by ClientHelloSpec.Build with
+// defaults (no session ID, default ciphers, SNI first extension).
+func Alterations() []Alteration {
+	return []Alteration{
+		{
+			Name:       "corrupt-record-type",
+			Structural: true,
+			Apply: func(ch []byte) []byte {
+				return mutate(ch, func(b []byte) { b[0] = 0x17 })
+			},
+		},
+		{
+			Name:       "corrupt-record-length",
+			Structural: true,
+			Apply: func(ch []byte) []byte {
+				return mutate(ch, func(b []byte) {
+					binary.BigEndian.PutUint16(b[3:5], uint16(len(b))) // overruns
+				})
+			},
+		},
+		{
+			Name:       "corrupt-handshake-type",
+			Structural: true,
+			Apply: func(ch []byte) []byte {
+				return mutate(ch, func(b []byte) { b[5] = 0x02 }) // ServerHello
+			},
+		},
+		{
+			Name:       "corrupt-handshake-length",
+			Structural: true,
+			Apply: func(ch []byte) []byte {
+				return mutate(ch, func(b []byte) { b[8] = 0xff })
+			},
+		},
+		{
+			Name:       "corrupt-sessionid-length",
+			Structural: true,
+			Apply: func(ch []byte) []byte {
+				// Session ID length byte sits at record(5)+hs(4)+ver(2)+rand(32).
+				return mutate(ch, func(b []byte) { b[5+4+2+32] = 0xfa })
+			},
+		},
+		{
+			Name:       "corrupt-ciphersuites-length",
+			Structural: true,
+			Apply: func(ch []byte) []byte {
+				return mutate(ch, func(b []byte) {
+					off := 5 + 4 + 2 + 32
+					off += 1 + int(b[off]) // session id
+					binary.BigEndian.PutUint16(b[off:off+2], 0xfffe)
+				})
+			},
+		},
+		{
+			Name:       "corrupt-extensions-length",
+			Structural: true,
+			Apply: func(ch []byte) []byte {
+				return mutate(ch, func(b []byte) {
+					off := extBlockOffset(b)
+					if off >= 0 {
+						binary.BigEndian.PutUint16(b[off:off+2], 0xfffe)
+					}
+				})
+			},
+		},
+		{
+			Name:       "corrupt-sni-ext-length",
+			Structural: true,
+			Apply: func(ch []byte) []byte {
+				return mutate(ch, func(b []byte) {
+					off := extBlockOffset(b)
+					if off >= 0 {
+						// First extension header starts 2 bytes later; its
+						// length field 2 bytes after the type.
+						binary.BigEndian.PutUint16(b[off+4:off+6], 0xfffe)
+					}
+				})
+			},
+		},
+		{
+			Name:       "change-record-version",
+			Structural: false,
+			Apply: func(ch []byte) []byte {
+				return mutate(ch, func(b []byte) {
+					binary.BigEndian.PutUint16(b[1:3], VersionTLS12)
+				})
+			},
+		},
+		{
+			Name:       "change-hello-version",
+			Structural: false,
+			Apply: func(ch []byte) []byte {
+				return mutate(ch, func(b []byte) {
+					binary.BigEndian.PutUint16(b[9:11], VersionTLS13)
+				})
+			},
+		},
+		{
+			Name:       "randomize-random",
+			Structural: false,
+			Apply: func(ch []byte) []byte {
+				return mutate(ch, func(b []byte) {
+					for i := 11; i < 11+32 && i < len(b); i++ {
+						b[i] ^= 0x5a
+					}
+				})
+			},
+		},
+		{
+			Name:       "swap-cipher-suites",
+			Structural: false,
+			Apply: func(ch []byte) []byte {
+				return mutate(ch, func(b []byte) {
+					off := 5 + 4 + 2 + 32
+					off += 1 + int(b[off])
+					n := int(binary.BigEndian.Uint16(b[off : off+2]))
+					cs := b[off+2 : off+2+n]
+					for i := 0; i+3 < len(cs); i += 4 {
+						cs[i], cs[i+2] = cs[i+2], cs[i]
+						cs[i+1], cs[i+3] = cs[i+3], cs[i+1]
+					}
+				})
+			},
+		},
+	}
+}
+
+// extBlockOffset returns the byte offset of the 2-byte extensions-length
+// field, or -1 on malformed input. Assumes single handshake record at start.
+func extBlockOffset(b []byte) int {
+	off := 5 + 4 + 2 + 32
+	if off >= len(b) {
+		return -1
+	}
+	off += 1 + int(b[off]) // session id
+	if off+2 > len(b) {
+		return -1
+	}
+	off += 2 + int(binary.BigEndian.Uint16(b[off:off+2])) // ciphers
+	if off+1 > len(b) {
+		return -1
+	}
+	off += 1 + int(b[off]) // compression
+	if off+2 > len(b) {
+		return -1
+	}
+	return off
+}

@@ -1,0 +1,365 @@
+// Package tlsx builds and parses TLS ClientHello messages at the byte level.
+// The TSPU locates the SNI by structurally parsing the ClientHello — walking
+// record, handshake, and extension type/length fields — rather than substring
+// matching over the packet (§5.2, Fig. 13). This package provides both the
+// builder used to craft trigger packets and the structural parser that the
+// TSPU device model shares, plus the field-alteration strategies used to map
+// which byte positions the TSPU actually inspects.
+package tlsx
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// TLS constants used on the wire.
+const (
+	RecordTypeHandshake      = 0x16
+	HandshakeTypeClientHello = 0x01
+	ExtensionServerName      = 0x0000
+	ExtensionALPN            = 0x0010
+	ExtensionPadding         = 0x0015
+	ExtensionSupportedVer    = 0x002b
+	// ExtensionECH is encrypted_client_hello (draft-ietf-tls-esni): the SNI
+	// moves into an encrypted blob, leaving nothing for SNI-based censors to
+	// match — the countermeasure the paper cites via [40].
+	ExtensionECH = 0xfe0d
+
+	VersionTLS10 = 0x0301
+	VersionTLS12 = 0x0303
+	VersionTLS13 = 0x0304
+)
+
+// Errors returned by ParseClientHello.
+var (
+	ErrNotHandshake   = errors.New("tlsx: not a handshake record")
+	ErrNotClientHello = errors.New("tlsx: not a ClientHello")
+	ErrMalformed      = errors.New("tlsx: malformed ClientHello")
+	ErrNoSNI          = errors.New("tlsx: no server_name extension")
+)
+
+// ClientHelloSpec describes a ClientHello to build. Zero values get
+// reasonable defaults from Build.
+type ClientHelloSpec struct {
+	ServerName    string
+	RecordVersion uint16 // version in the TLS record header (default 0x0301)
+	HelloVersion  uint16 // client_version in the handshake (default 0x0303)
+	Random        [32]byte
+	SessionID     []byte
+	CipherSuites  []uint16
+	ALPN          []string
+	PaddingLen    int  // adds a padding extension of this many zero bytes
+	PrependRecord bool // prepend an unrelated ChangeCipherSpec-like record
+	// ECH encrypts the real server name: the ClientHello carries an
+	// encrypted_client_hello extension and NO plaintext SNI (an outer SNI of
+	// a fronting domain may be set via ServerName).
+	ECH       bool
+	ExtraExts []Extension
+}
+
+// Extension is a raw TLS extension.
+type Extension struct {
+	Type uint16
+	Data []byte
+}
+
+var defaultCiphers = []uint16{
+	0x1301, 0x1302, 0x1303, // TLS 1.3 suites
+	0xc02b, 0xc02f, 0xc02c, 0xc030, // ECDHE suites
+	0x009c, 0x009d, 0x003c, 0x003d, // RSA suites (match Fig. 13's dump flavor)
+}
+
+// Build serializes the spec into TLS record bytes ready to be used as a TCP
+// payload.
+func (s *ClientHelloSpec) Build() []byte {
+	recVer := s.RecordVersion
+	if recVer == 0 {
+		recVer = VersionTLS10
+	}
+	helloVer := s.HelloVersion
+	if helloVer == 0 {
+		helloVer = VersionTLS12
+	}
+	ciphers := s.CipherSuites
+	if ciphers == nil {
+		ciphers = defaultCiphers
+	}
+
+	// Extensions.
+	var exts []byte
+	if s.ECH {
+		// The encrypted blob: opaque bytes standing in for the HPKE
+		// ciphertext; its length matches a real inner hello.
+		blob := make([]byte, 180)
+		for i := range blob {
+			blob[i] = byte(0xa5 ^ i)
+		}
+		exts = append(exts, buildExt(ExtensionECH, blob)...)
+	} else if s.ServerName != "" {
+		exts = append(exts, buildSNI(s.ServerName)...)
+	}
+	if len(s.ALPN) > 0 {
+		exts = append(exts, buildALPN(s.ALPN)...)
+	}
+	for _, e := range s.ExtraExts {
+		exts = append(exts, buildExt(e.Type, e.Data)...)
+	}
+	if s.PaddingLen > 0 {
+		exts = append(exts, buildExt(ExtensionPadding, make([]byte, s.PaddingLen))...)
+	}
+
+	// Handshake body.
+	var body []byte
+	body = binary.BigEndian.AppendUint16(body, helloVer)
+	body = append(body, s.Random[:]...)
+	body = append(body, byte(len(s.SessionID)))
+	body = append(body, s.SessionID...)
+	body = binary.BigEndian.AppendUint16(body, uint16(2*len(ciphers)))
+	for _, c := range ciphers {
+		body = binary.BigEndian.AppendUint16(body, c)
+	}
+	body = append(body, 1, 0) // compression methods: [null]
+	body = binary.BigEndian.AppendUint16(body, uint16(len(exts)))
+	body = append(body, exts...)
+
+	// Handshake header: type(1) + len(3).
+	hs := make([]byte, 4, 4+len(body))
+	hs[0] = HandshakeTypeClientHello
+	hs[1] = byte(len(body) >> 16)
+	hs[2] = byte(len(body) >> 8)
+	hs[3] = byte(len(body))
+	hs = append(hs, body...)
+
+	// Record header: type(1) + version(2) + len(2).
+	rec := make([]byte, 5, 5+len(hs))
+	rec[0] = RecordTypeHandshake
+	binary.BigEndian.PutUint16(rec[1:3], recVer)
+	binary.BigEndian.PutUint16(rec[3:5], uint16(len(hs)))
+	rec = append(rec, hs...)
+
+	if s.PrependRecord {
+		// A one-byte ChangeCipherSpec record ahead of the handshake record;
+		// a structural parser that only reads the first record misses the
+		// ClientHello entirely (§8 client-side strategy).
+		pre := []byte{0x14, 0x03, 0x01, 0x00, 0x01, 0x01}
+		rec = append(pre, rec...)
+	}
+	return rec
+}
+
+func buildSNI(name string) []byte {
+	// server_name extension: list_len(2) + type(1)=0 + name_len(2) + name.
+	inner := make([]byte, 0, 5+len(name))
+	inner = binary.BigEndian.AppendUint16(inner, uint16(3+len(name)))
+	inner = append(inner, 0) // host_name
+	inner = binary.BigEndian.AppendUint16(inner, uint16(len(name)))
+	inner = append(inner, name...)
+	return buildExt(ExtensionServerName, inner)
+}
+
+func buildALPN(protos []string) []byte {
+	var list []byte
+	for _, p := range protos {
+		list = append(list, byte(len(p)))
+		list = append(list, p...)
+	}
+	inner := binary.BigEndian.AppendUint16(nil, uint16(len(list)))
+	inner = append(inner, list...)
+	return buildExt(ExtensionALPN, inner)
+}
+
+func buildExt(typ uint16, data []byte) []byte {
+	b := binary.BigEndian.AppendUint16(nil, typ)
+	b = binary.BigEndian.AppendUint16(b, uint16(len(data)))
+	return append(b, data...)
+}
+
+// Info is the result of structurally parsing a ClientHello.
+type Info struct {
+	RecordVersion uint16
+	HelloVersion  uint16
+	ServerName    string
+	ALPN          []string
+	// SNIOffset/SNILen locate the server name bytes within the parsed input,
+	// used by Fig. 13-style inspection maps.
+	SNIOffset, SNILen int
+	// NumExtensions counts parsed extensions.
+	NumExtensions int
+}
+
+// ParseClientHello structurally parses b, which must begin with a TLS
+// handshake record containing a ClientHello (possibly preceded by non-
+// handshake records, which are skipped only if skipRecords is true via
+// ParseClientHelloDeep). It walks every type/length field; corrupting any of
+// them yields an error rather than a located SNI, which is exactly the
+// behavioral split Fig. 13 maps.
+func ParseClientHello(b []byte) (*Info, error) {
+	return parseCH(b, false)
+}
+
+// ParseClientHelloDeep is like ParseClientHello but skips leading
+// non-handshake records before parsing, modeling a DPI whose inspection
+// window spans multiple records.
+func ParseClientHelloDeep(b []byte) (*Info, error) {
+	return parseCH(b, true)
+}
+
+func parseCH(b []byte, skipRecords bool) (*Info, error) {
+	base := 0
+	for {
+		if len(b)-base < 5 {
+			return nil, fmt.Errorf("%w: short record header", ErrMalformed)
+		}
+		if b[base] == RecordTypeHandshake {
+			break
+		}
+		if !skipRecords {
+			return nil, ErrNotHandshake
+		}
+		rl := int(binary.BigEndian.Uint16(b[base+3 : base+5]))
+		base += 5 + rl
+		if base > len(b) {
+			return nil, fmt.Errorf("%w: record overruns buffer", ErrMalformed)
+		}
+	}
+	info := &Info{RecordVersion: binary.BigEndian.Uint16(b[base+1 : base+3])}
+	recLen := int(binary.BigEndian.Uint16(b[base+3 : base+5]))
+	rec := b[base+5:]
+	if recLen > len(rec) {
+		return nil, fmt.Errorf("%w: record length %d overruns buffer", ErrMalformed, recLen)
+	}
+	rec = rec[:recLen]
+	if len(rec) < 4 {
+		return nil, fmt.Errorf("%w: short handshake header", ErrMalformed)
+	}
+	if rec[0] != HandshakeTypeClientHello {
+		return nil, ErrNotClientHello
+	}
+	hsLen := int(rec[1])<<16 | int(rec[2])<<8 | int(rec[3])
+	body := rec[4:]
+	if hsLen > len(body) {
+		return nil, fmt.Errorf("%w: handshake length %d overruns record", ErrMalformed, hsLen)
+	}
+	body = body[:hsLen]
+	bodyBase := base + 5 + 4
+
+	off := 0
+	need := func(n int) error {
+		if off+n > len(body) {
+			return fmt.Errorf("%w: truncated at offset %d", ErrMalformed, off)
+		}
+		return nil
+	}
+	if err := need(2 + 32 + 1); err != nil {
+		return nil, err
+	}
+	info.HelloVersion = binary.BigEndian.Uint16(body[off : off+2])
+	off += 2 + 32 // version + random
+	sidLen := int(body[off])
+	off++
+	if err := need(sidLen + 2); err != nil {
+		return nil, err
+	}
+	off += sidLen
+	csLen := int(binary.BigEndian.Uint16(body[off : off+2]))
+	off += 2
+	if csLen%2 != 0 {
+		return nil, fmt.Errorf("%w: odd cipher suite length", ErrMalformed)
+	}
+	if err := need(csLen + 1); err != nil {
+		return nil, err
+	}
+	off += csLen
+	compLen := int(body[off])
+	off++
+	if err := need(compLen + 2); err != nil {
+		return nil, err
+	}
+	off += compLen
+	extLen := int(binary.BigEndian.Uint16(body[off : off+2]))
+	off += 2
+	if off+extLen > len(body) {
+		return nil, fmt.Errorf("%w: extensions overrun body", ErrMalformed)
+	}
+	exts := body[off : off+extLen]
+	extBase := bodyBase + off
+
+	eo := 0
+	for eo+4 <= len(exts) {
+		typ := binary.BigEndian.Uint16(exts[eo : eo+2])
+		elen := int(binary.BigEndian.Uint16(exts[eo+2 : eo+4]))
+		if eo+4+elen > len(exts) {
+			return nil, fmt.Errorf("%w: extension %d overruns", ErrMalformed, typ)
+		}
+		data := exts[eo+4 : eo+4+elen]
+		info.NumExtensions++
+		switch typ {
+		case ExtensionServerName:
+			name, rel, nlen, err := parseSNIExt(data)
+			if err != nil {
+				return nil, err
+			}
+			info.ServerName = name
+			info.SNIOffset = extBase + eo + 4 + rel
+			info.SNILen = nlen
+		case ExtensionALPN:
+			protos, err := parseALPNExt(data)
+			if err != nil {
+				return nil, err
+			}
+			info.ALPN = protos
+		}
+		eo += 4 + elen
+	}
+	if eo != len(exts) {
+		return nil, fmt.Errorf("%w: trailing extension bytes", ErrMalformed)
+	}
+	if info.ServerName == "" && info.SNILen == 0 {
+		return info, ErrNoSNI
+	}
+	return info, nil
+}
+
+func parseSNIExt(data []byte) (name string, rel, nlen int, err error) {
+	if len(data) < 2 {
+		return "", 0, 0, fmt.Errorf("%w: short SNI list", ErrMalformed)
+	}
+	listLen := int(binary.BigEndian.Uint16(data[:2]))
+	if 2+listLen > len(data) {
+		return "", 0, 0, fmt.Errorf("%w: SNI list overruns", ErrMalformed)
+	}
+	p := data[2 : 2+listLen]
+	if len(p) < 3 {
+		return "", 0, 0, fmt.Errorf("%w: short SNI entry", ErrMalformed)
+	}
+	if p[0] != 0 {
+		return "", 0, 0, fmt.Errorf("%w: unknown SNI name type %d", ErrMalformed, p[0])
+	}
+	n := int(binary.BigEndian.Uint16(p[1:3]))
+	if 3+n > len(p) {
+		return "", 0, 0, fmt.Errorf("%w: SNI name overruns", ErrMalformed)
+	}
+	return string(p[3 : 3+n]), 2 + 3, n, nil
+}
+
+func parseALPNExt(data []byte) ([]string, error) {
+	if len(data) < 2 {
+		return nil, fmt.Errorf("%w: short ALPN", ErrMalformed)
+	}
+	listLen := int(binary.BigEndian.Uint16(data[:2]))
+	if 2+listLen > len(data) {
+		return nil, fmt.Errorf("%w: ALPN overruns", ErrMalformed)
+	}
+	p := data[2 : 2+listLen]
+	var out []string
+	for len(p) > 0 {
+		n := int(p[0])
+		if 1+n > len(p) {
+			return nil, fmt.Errorf("%w: ALPN entry overruns", ErrMalformed)
+		}
+		out = append(out, string(p[1:1+n]))
+		p = p[1+n:]
+	}
+	return out, nil
+}

@@ -1,0 +1,225 @@
+package tlsx
+
+import (
+	"errors"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestBuildParseRoundTrip(t *testing.T) {
+	spec := &ClientHelloSpec{ServerName: "twitter.com", ALPN: []string{"h2", "http/1.1"}}
+	ch := spec.Build()
+	info, err := ParseClientHello(ch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.ServerName != "twitter.com" {
+		t.Fatalf("SNI = %q", info.ServerName)
+	}
+	if len(info.ALPN) != 2 || info.ALPN[0] != "h2" {
+		t.Fatalf("ALPN = %v", info.ALPN)
+	}
+	if info.RecordVersion != VersionTLS10 || info.HelloVersion != VersionTLS12 {
+		t.Fatalf("versions = %04x/%04x", info.RecordVersion, info.HelloVersion)
+	}
+}
+
+func TestSNIOffsetLocatesName(t *testing.T) {
+	spec := &ClientHelloSpec{ServerName: "facebook.com", SessionID: make([]byte, 32)}
+	ch := spec.Build()
+	info, err := ParseClientHello(ch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := string(ch[info.SNIOffset : info.SNIOffset+info.SNILen])
+	if got != "facebook.com" {
+		t.Fatalf("bytes at SNIOffset = %q", got)
+	}
+}
+
+func TestNoSNI(t *testing.T) {
+	spec := &ClientHelloSpec{}
+	_, err := ParseClientHello(spec.Build())
+	if !errors.Is(err, ErrNoSNI) {
+		t.Fatalf("want ErrNoSNI, got %v", err)
+	}
+}
+
+func TestNotHandshake(t *testing.T) {
+	if _, err := ParseClientHello([]byte{0x17, 3, 1, 0, 1, 0}); !errors.Is(err, ErrNotHandshake) {
+		t.Fatalf("want ErrNotHandshake, got %v", err)
+	}
+}
+
+func TestNotClientHello(t *testing.T) {
+	spec := &ClientHelloSpec{ServerName: "x.com"}
+	ch := spec.Build()
+	ch[5] = 0x02 // ServerHello
+	if _, err := ParseClientHello(ch); !errors.Is(err, ErrNotClientHello) {
+		t.Fatalf("want ErrNotClientHello, got %v", err)
+	}
+}
+
+func TestPrependRecordHidesFromShallowParser(t *testing.T) {
+	spec := &ClientHelloSpec{ServerName: "meduza.io", PrependRecord: true}
+	ch := spec.Build()
+	if _, err := ParseClientHello(ch); !errors.Is(err, ErrNotHandshake) {
+		t.Fatalf("shallow parser should fail on prepended record, got %v", err)
+	}
+	info, err := ParseClientHelloDeep(ch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.ServerName != "meduza.io" {
+		t.Fatalf("deep parse SNI = %q", info.ServerName)
+	}
+}
+
+func TestPaddingPreservesParse(t *testing.T) {
+	spec := &ClientHelloSpec{ServerName: "bbc.com", PaddingLen: 500}
+	info, err := ParseClientHello(spec.Build())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.ServerName != "bbc.com" {
+		t.Fatalf("SNI with padding = %q", info.ServerName)
+	}
+	if info.NumExtensions != 2 {
+		t.Fatalf("NumExtensions = %d", info.NumExtensions)
+	}
+}
+
+func TestStructuralAlterationsBreakParse(t *testing.T) {
+	spec := &ClientHelloSpec{ServerName: "dw.com"}
+	base := spec.Build()
+	for _, alt := range Alterations() {
+		mutated := alt.Apply(base)
+		if string(mutated) == string(base) {
+			t.Errorf("%s: no-op mutation", alt.Name)
+			continue
+		}
+		info, err := ParseClientHello(mutated)
+		if alt.Structural {
+			if err == nil && info.ServerName == "dw.com" {
+				t.Errorf("%s: structural corruption but SNI still located", alt.Name)
+			}
+		} else {
+			if err != nil {
+				t.Errorf("%s: cosmetic mutation broke parse: %v", alt.Name, err)
+			} else if info.ServerName != "dw.com" {
+				t.Errorf("%s: cosmetic mutation lost SNI: %q", alt.Name, info.ServerName)
+			}
+		}
+	}
+}
+
+func TestAlterationsDoNotMutateInput(t *testing.T) {
+	spec := &ClientHelloSpec{ServerName: "rferl.org"}
+	base := spec.Build()
+	orig := append([]byte(nil), base...)
+	for _, alt := range Alterations() {
+		alt.Apply(base)
+	}
+	if string(base) != string(orig) {
+		t.Fatal("an alteration mutated its input")
+	}
+}
+
+func TestPropertyBuildParse(t *testing.T) {
+	f := func(nameBytes []byte, sessLen uint8, pad uint16) bool {
+		name := strings.Map(func(r rune) rune {
+			if (r >= 'a' && r <= 'z') || (r >= '0' && r <= '9') || r == '-' || r == '.' {
+				return r
+			}
+			return 'a'
+		}, string(nameBytes))
+		if name == "" {
+			name = "example.com"
+		}
+		if len(name) > 200 {
+			name = name[:200]
+		}
+		spec := &ClientHelloSpec{
+			ServerName: name,
+			SessionID:  make([]byte, int(sessLen)%33),
+			PaddingLen: int(pad) % 1000,
+		}
+		info, err := ParseClientHello(spec.Build())
+		return err == nil && info.ServerName == name
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropertyTruncationNeverPanics(t *testing.T) {
+	spec := &ClientHelloSpec{ServerName: "long-domain-name.example.org", PaddingLen: 64}
+	ch := spec.Build()
+	for i := 0; i <= len(ch); i++ {
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Fatalf("panic at truncation %d: %v", i, r)
+				}
+			}()
+			ParseClientHello(ch[:i])
+			ParseClientHelloDeep(ch[:i])
+		}()
+	}
+}
+
+func TestPropertyRandomBytesNeverPanic(t *testing.T) {
+	f := func(b []byte) bool {
+		defer func() {
+			if r := recover(); r != nil {
+				t.Fatalf("panic on random input: %v", r)
+			}
+		}()
+		ParseClientHello(b)
+		ParseClientHelloDeep(b)
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCustomCiphersAndVersions(t *testing.T) {
+	spec := &ClientHelloSpec{
+		ServerName:    "instagram.com",
+		RecordVersion: VersionTLS12,
+		HelloVersion:  VersionTLS13,
+		CipherSuites:  []uint16{0x1301},
+	}
+	info, err := ParseClientHello(spec.Build())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.RecordVersion != VersionTLS12 || info.HelloVersion != VersionTLS13 {
+		t.Fatalf("versions = %04x/%04x", info.RecordVersion, info.HelloVersion)
+	}
+}
+
+func TestECHHidesSNI(t *testing.T) {
+	spec := &ClientHelloSpec{ServerName: "meduza.io", ECH: true}
+	ch := spec.Build()
+	info, err := ParseClientHello(ch)
+	if !errors.Is(err, ErrNoSNI) {
+		t.Fatalf("ECH hello should carry no SNI, got err=%v sni=%q", err, infoSNI(info))
+	}
+	// The domain must not appear anywhere in the bytes.
+	if strings.Contains(string(ch), "meduza.io") {
+		t.Fatal("plaintext domain leaked into ECH hello")
+	}
+	if info.NumExtensions == 0 {
+		t.Fatal("ECH extension missing")
+	}
+}
+
+func infoSNI(i *Info) string {
+	if i == nil {
+		return ""
+	}
+	return i.ServerName
+}

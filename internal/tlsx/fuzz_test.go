@@ -1,0 +1,38 @@
+package tlsx
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzParseClientHello drives the structural parser with arbitrary bytes —
+// the exact position the device's inspection path is in when an adversary
+// crafts payloads. Seeds cover well-formed hellos, every alteration, ECH,
+// and multi-record inputs. Run with: go test -fuzz=FuzzParseClientHello
+func FuzzParseClientHello(f *testing.F) {
+	base := (&ClientHelloSpec{ServerName: "twitter.com"}).Build()
+	f.Add(base)
+	for _, alt := range Alterations() {
+		f.Add(alt.Apply(base))
+	}
+	f.Add((&ClientHelloSpec{ServerName: "x.ru", PrependRecord: true}).Build())
+	f.Add((&ClientHelloSpec{ServerName: "x.ru", ECH: true}).Build())
+	f.Add((&ClientHelloSpec{ServerName: "x.ru", PaddingLen: 700, ALPN: []string{"h2"}}).Build())
+	f.Add([]byte{})
+	f.Add([]byte{0x16})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		info, err := ParseClientHello(data)
+		if err == nil && info.ServerName != "" {
+			// Invariant: a located SNI must be present verbatim in the input
+			// at the reported offset.
+			if info.SNIOffset+info.SNILen > len(data) {
+				t.Fatalf("SNI offset %d+%d beyond input %d", info.SNIOffset, info.SNILen, len(data))
+			}
+			if !bytes.Equal(data[info.SNIOffset:info.SNIOffset+info.SNILen], []byte(info.ServerName)) {
+				t.Fatalf("offset does not point at the SNI")
+			}
+		}
+		ParseClientHelloDeep(data)
+	})
+}

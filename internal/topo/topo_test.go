@@ -1,0 +1,390 @@
+package topo
+
+import (
+	"strings"
+	"testing"
+
+	"tspusim/internal/dnsx"
+	"tspusim/internal/hostnet"
+	"tspusim/internal/packet"
+	"tspusim/internal/tlsx"
+)
+
+func smallLab(t *testing.T) *Lab {
+	t.Helper()
+	return Build(Options{Seed: 1, Endpoints: 200, ASes: 12, EchoServers: 30, TrancoN: 300, RegistryN: 300})
+}
+
+func TestBuildDeterministic(t *testing.T) {
+	a := Build(Options{Seed: 5, Endpoints: 100, ASes: 8, TrancoN: 100, RegistryN: 100})
+	b := Build(Options{Seed: 5, Endpoints: 100, ASes: 8, TrancoN: 100, RegistryN: 100})
+	if len(a.Endpoints) != len(b.Endpoints) {
+		t.Fatal("endpoint counts differ")
+	}
+	for i := range a.Endpoints {
+		ea, eb := a.Endpoints[i], b.Endpoints[i]
+		if ea.Addr != eb.Addr || ea.Port != eb.Port || ea.BehindTSPU != eb.BehindTSPU {
+			t.Fatalf("endpoint %d differs: %+v vs %+v", i, ea, eb)
+		}
+	}
+	if len(a.Devices) != len(b.Devices) {
+		t.Fatal("device counts differ")
+	}
+}
+
+func TestVantagesReachUS(t *testing.T) {
+	l := smallLab(t)
+	l.US1.Listen(443, hostnet.ListenOptions{})
+	for name, v := range l.Vantages {
+		conn := v.Stack.Dial(l.US1.Addr(), 443, hostnet.DialOptions{})
+		l.Sim.Run()
+		if conn.State != hostnet.StateEstablished {
+			t.Fatalf("%s cannot reach US measurement machine: %v", name, conn.State)
+		}
+		conn.Close()
+	}
+}
+
+func TestVantagesBlockedOnTriggerSNI(t *testing.T) {
+	l := smallLab(t)
+	l.US1.Listen(443, hostnet.ListenOptions{
+		OnData: func(c *hostnet.TCPConn, d []byte) { c.Send([]byte("SERVERHELLO")) },
+	})
+	ch := (&tlsx.ClientHelloSpec{ServerName: "twitter.com"}).Build()
+	for name, v := range l.Vantages {
+		conn := v.Stack.Dial(l.US1.Addr(), 443, hostnet.DialOptions{})
+		conn.OnEstablished = func() { conn.Send(ch) }
+		l.Sim.Run()
+		if !conn.ResetSeen {
+			t.Fatalf("%s: twitter.com CH not blocked", name)
+		}
+		conn.Close()
+	}
+}
+
+func TestControlDomainUnblocked(t *testing.T) {
+	l := smallLab(t)
+	l.US1.Listen(443, hostnet.ListenOptions{
+		OnData: func(c *hostnet.TCPConn, d []byte) { c.Send([]byte("SERVERHELLO")) },
+	})
+	ch := (&tlsx.ClientHelloSpec{ServerName: "control-not-blocked.example"}).Build()
+	for name, v := range l.Vantages {
+		conn := v.Stack.Dial(l.US1.Addr(), 443, hostnet.DialOptions{})
+		conn.OnEstablished = func() { conn.Send(ch) }
+		l.Sim.Run()
+		if conn.ResetSeen || len(conn.Received) == 0 {
+			t.Fatalf("%s: control domain interfered with", name)
+		}
+		conn.Close()
+	}
+}
+
+func TestUniformBlockingAcrossVantages(t *testing.T) {
+	// The same registry domain must be blocked (or not) identically at all
+	// three vantages: the §5.1 uniformity criterion.
+	l := smallLab(t)
+	l.US1.Listen(443, hostnet.ListenOptions{})
+	for _, d := range l.Registry[:40] {
+		verdicts := map[string]bool{}
+		for name, v := range l.Vantages {
+			ch := (&tlsx.ClientHelloSpec{ServerName: d.Name}).Build()
+			conn := v.Stack.Dial(l.US1.Addr(), 443, hostnet.DialOptions{})
+			conn.OnEstablished = func() { conn.Send(ch) }
+			l.Sim.Run()
+			verdicts[name] = conn.ResetSeen
+			conn.Close()
+		}
+		if verdicts[Rostelecom] != verdicts[ERTelecom] || verdicts[ERTelecom] != verdicts[OBIT] {
+			t.Fatalf("domain %s verdicts differ: %v", d.Name, verdicts)
+		}
+	}
+}
+
+func TestTorIPBlocked(t *testing.T) {
+	l := smallLab(t)
+	for name, v := range l.Vantages {
+		conn := v.Stack.Dial(l.TorAddr, 9001, hostnet.DialOptions{})
+		l.Sim.Run()
+		if len(conn.Packets) != 0 {
+			t.Fatalf("%s reached the blocked Tor IP", name)
+		}
+		conn.Close()
+	}
+	// The Paris measurement machine in the same DC is NOT blocked (control).
+	l.Paris.Listen(9001, hostnet.ListenOptions{})
+	v := l.Vantages[ERTelecom]
+	conn := v.Stack.Dial(l.Paris.Addr(), 9001, hostnet.DialOptions{})
+	l.Sim.Run()
+	if conn.State != hostnet.StateEstablished {
+		t.Fatal("Paris control machine unreachable")
+	}
+}
+
+func TestISPResolverBlockpages(t *testing.T) {
+	l := smallLab(t)
+	v := l.Vantages[OBIT]
+	cl := dnsx.NewClient(v.Stack, v.ResolverAddr)
+	// Pick a domain on the ISP blocklist.
+	var target string
+	for _, d := range l.Registry {
+		if v.ISPBlocklist.Contains(d.Name) {
+			target = d.Name
+			break
+		}
+	}
+	if target == "" {
+		t.Fatal("ISP blocklist empty")
+	}
+	var got *dnsx.Message
+	cl.Lookup(target, func(m *dnsx.Message) { got = m })
+	l.Sim.Run()
+	if got == nil || len(got.Answers) == 0 || got.Answers[0].Addr != v.Blockpage {
+		t.Fatalf("blockpage not returned: %+v", got)
+	}
+}
+
+func TestBlockpageServesHTML(t *testing.T) {
+	l := smallLab(t)
+	v := l.Vantages[ERTelecom]
+	conn := v.Stack.Dial(v.Blockpage, 80, hostnet.DialOptions{})
+	conn.OnEstablished = func() { conn.Send([]byte("GET / HTTP/1.1\r\n\r\n")) }
+	l.Sim.Run()
+	if len(conn.Received) == 0 {
+		t.Fatal("no blockpage content")
+	}
+}
+
+func TestISPBlocklistsAreStaleSubsets(t *testing.T) {
+	l := smallLab(t)
+	rt := l.Vantages[Rostelecom].ISPBlocklist.Len()
+	obit := l.Vantages[OBIT].ISPBlocklist.Len()
+	ert := l.Vantages[ERTelecom].ISPBlocklist.Len()
+	if !(rt < obit && obit < ert) {
+		t.Fatalf("blocklist sizes rt=%d obit=%d ert=%d, want rt < obit < ert", rt, obit, ert)
+	}
+	if l.RegistryTSPUBlocked <= ert {
+		t.Fatalf("TSPU coverage %d not above best ISP %d", l.RegistryTSPUBlocked, ert)
+	}
+}
+
+func TestVantageDeviceCounts(t *testing.T) {
+	l := smallLab(t)
+	if n := len(l.Vantages[ERTelecom].Devices); n != 1 {
+		t.Fatalf("ER-Telecom devices = %d, want 1", n)
+	}
+	if n := len(l.Vantages[Rostelecom].Devices); n != 2 {
+		t.Fatalf("Rostelecom devices = %d, want 2", n)
+	}
+	if n := len(l.Vantages[OBIT].Devices); n != 3 {
+		t.Fatalf("OBIT devices = %d, want 3 (sym + two transit)", n)
+	}
+}
+
+func TestEndpointsRespondToProbes(t *testing.T) {
+	l := smallLab(t)
+	responded := 0
+	for _, ep := range l.Endpoints[:50] {
+		conn := l.Paris.Dial(ep.Addr, ep.Port, hostnet.DialOptions{})
+		l.Sim.Run()
+		if conn.State == hostnet.StateEstablished {
+			responded++
+		}
+		conn.Close()
+	}
+	if responded != 50 {
+		t.Fatalf("only %d/50 endpoints respond to plain SYN", responded)
+	}
+}
+
+func TestEndpointPopulationShape(t *testing.T) {
+	l := Build(Options{Seed: 3, Endpoints: 4000, ASes: 160, TrancoN: 100, RegistryN: 100})
+	behind := 0
+	byPort := map[uint16]int{}
+	byPortTSPU := map[uint16]int{}
+	echo := 0
+	for _, ep := range l.Endpoints {
+		if ep.BehindTSPU {
+			behind++
+			byPortTSPU[ep.Port]++
+		}
+		byPort[ep.Port]++
+		if ep.Echo {
+			echo++
+		}
+	}
+	frac := float64(behind) / float64(len(l.Endpoints))
+	if frac < 0.15 || frac > 0.38 {
+		t.Fatalf("TSPU-positive fraction = %.3f, want near the paper's 0.2531", frac)
+	}
+	if byPort[7547] == 0 || byPort[80] == 0 {
+		t.Fatal("missing port populations")
+	}
+	frac7547 := float64(byPortTSPU[7547]) / float64(byPort[7547])
+	frac80 := float64(byPortTSPU[80]) / float64(byPort[80])
+	// Fig. 9: hosts with port 7547 open are far more likely to sit behind a
+	// TSPU than hosts on server ports like 80 (paper: >3x at 4M endpoints;
+	// at lab scale the per-AS sampling noise admits ~1.5x as the floor).
+	if frac7547 < 1.5*frac80 {
+		t.Fatalf("port 7547 rate %.2f not strongly above port 80 rate %.2f", frac7547, frac80)
+	}
+	if echo < 20 {
+		t.Fatalf("echo servers = %d", echo)
+	}
+}
+
+func TestDeviceDepthDistribution(t *testing.T) {
+	l := Build(Options{Seed: 9, Endpoints: 4000, ASes: 150, TrancoN: 100, RegistryN: 100})
+	within2, total := 0, 0
+	for _, ep := range l.Endpoints {
+		if ep.DeviceHops > 0 && ep.BehindTSPU {
+			total++
+			if ep.DeviceHops <= 2 {
+				within2++
+			}
+		}
+	}
+	if total == 0 {
+		t.Fatal("no devices placed")
+	}
+	frac := float64(within2) / float64(total)
+	if frac < 0.45 || frac > 0.95 {
+		t.Fatalf("within-2-hops fraction = %.2f, want near the paper's ~0.69", frac)
+	}
+}
+
+func TestEchoServersEcho(t *testing.T) {
+	l := smallLab(t)
+	var echoEp *Endpoint
+	for _, ep := range l.Endpoints {
+		if ep.Echo && !ep.BehindTSPU && !ep.BehindUpstreamOnly {
+			echoEp = ep
+			break
+		}
+	}
+	if echoEp == nil {
+		t.Skip("no clean echo endpoint in this seed")
+	}
+	conn := l.Paris.Dial(echoEp.Addr, 7, hostnet.DialOptions{})
+	conn.OnEstablished = func() { conn.Send([]byte("probe")) }
+	l.Sim.Run()
+	if string(conn.Received) != "probe" {
+		t.Fatalf("echo = %q", conn.Received)
+	}
+}
+
+func TestFragScanGroundTruthSignal(t *testing.T) {
+	// For a symmetric-TSPU endpoint: fragmented SYN with 45 fragments gets a
+	// SYN/ACK, 46 gets silence. For a clean endpoint both respond.
+	l := smallLab(t)
+	var tspuEp, cleanEp *Endpoint
+	for _, ep := range l.Endpoints {
+		if ep.BehindTSPU && tspuEp == nil {
+			tspuEp = ep
+		}
+		if !ep.BehindTSPU && !ep.BehindUpstreamOnly && cleanEp == nil {
+			cleanEp = ep
+		}
+	}
+	if tspuEp == nil || cleanEp == nil {
+		t.Fatal("missing endpoint types")
+	}
+	probe := func(ep *Endpoint, frags int, id uint16) bool {
+		got := false
+		prev := l.Paris.Tap // no accessor; use a one-shot conn-less probe
+		_ = prev
+		sport := l.Paris.EphemeralPort()
+		p := packet.NewTCP(l.Paris.Addr(), ep.Addr, sport, ep.Port, packet.FlagSYN, 1, 0, nil)
+		p.IP.ID = id
+		fs, err := packet.FragmentCount(p, frags)
+		if err != nil {
+			t.Fatal(err)
+		}
+		l.Paris.Tap(func(pk *packet.Packet) {
+			if pk.TCP != nil && pk.TCP.Flags.Has(packet.FlagsSYNACK) && pk.IP.Src == ep.Addr && pk.TCP.DstPort == sport {
+				got = true
+			}
+		})
+		for _, f := range fs {
+			l.Paris.Send(f)
+		}
+		l.Sim.Run()
+		return got
+	}
+	if !probe(tspuEp, 45, 1001) {
+		t.Fatal("TSPU endpoint: 45 fragments got no response")
+	}
+	if probe(tspuEp, 46, 1002) {
+		t.Fatal("TSPU endpoint: 46 fragments got a response")
+	}
+	if !probe(cleanEp, 45, 1003) || !probe(cleanEp, 46, 1004) {
+		t.Fatal("clean endpoint failed 45/46 control")
+	}
+}
+
+func TestRegistryDumpMatchesSample(t *testing.T) {
+	l := smallLab(t)
+	if len(l.RegistryDump) != len(l.Registry) {
+		t.Fatalf("dump entries = %d, registry = %d", len(l.RegistryDump), len(l.Registry))
+	}
+	// Every dump entry's domain is in the sample and carries metadata.
+	names := map[string]bool{}
+	for _, d := range l.Registry {
+		names[d.Name] = true
+	}
+	for _, e := range l.RegistryDump {
+		if !names[e.Domain] {
+			t.Fatalf("dump domain %q not in sample", e.Domain)
+		}
+		if e.Added.IsZero() || len(e.IPs) == 0 || e.Agency == "" {
+			t.Fatalf("incomplete entry: %+v", e)
+		}
+	}
+}
+
+func TestUpstreamOnlyDevicesNeverSeeDownstream(t *testing.T) {
+	// The structural invariant behind §7.1.1: every upstream-only device's
+	// entire traffic history is local→remote. Drive bidirectional traffic
+	// everywhere, then check the OBIT transit devices saw only one way.
+	l := smallLab(t)
+	l.US1.Listen(443, hostnet.ListenOptions{
+		OnData: func(c *hostnet.TCPConn, d []byte) { c.Send([]byte("resp")) },
+	})
+	l.Paris.Listen(443, hostnet.ListenOptions{
+		OnData: func(c *hostnet.TCPConn, d []byte) { c.Send([]byte("resp")) },
+	})
+	for _, dst := range []*hostnet.Stack{l.US1, l.Paris} {
+		for _, v := range l.Vantages {
+			conn := v.Stack.Dial(dst.Addr(), 443, hostnet.DialOptions{})
+			conn.OnEstablished = func() { conn.Send([]byte("hello-data")) }
+			l.Sim.Run()
+			conn.Close()
+		}
+	}
+	// OBIT's transit devices are indices 1 and 2 (sym is 0).
+	obit := l.Vantages[OBIT]
+	for _, dev := range obit.Devices[1:] {
+		if dev.Stats().Handled == 0 {
+			continue // the rascom device only sees Paris-bound flows
+		}
+		if dev.Stats().Rewritten > 0 {
+			t.Fatalf("%s rewrote downstream traffic it should never see", dev.Name())
+		}
+	}
+	if obit.Devices[0].Stats().Handled == 0 {
+		t.Fatal("symmetric device idle")
+	}
+}
+
+func TestTopologyDOT(t *testing.T) {
+	l := smallLab(t)
+	dot := l.TopologyDOT(false)
+	for _, want := range []string{"graph tspusim", "TSPU", "ru-core", "tor-node"} {
+		if !strings.Contains(dot, want) {
+			t.Fatalf("DOT missing %q", want)
+		}
+	}
+	full := l.TopologyDOT(true)
+	if len(full) <= len(dot) {
+		t.Fatal("includeEndpoints did not grow the graph")
+	}
+}

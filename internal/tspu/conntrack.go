@@ -1,0 +1,293 @@
+package tspu
+
+import (
+	"time"
+
+	"tspusim/internal/packet"
+)
+
+// Origin records which side the TSPU believes initiated a connection. The
+// inference is heuristic — the direction of the first packet seen, refined
+// by SYN handling — and tricking it is the root of the split-handshake and
+// simultaneous-open evasions (§5.3.2).
+type Origin int
+
+// Origins.
+const (
+	OriginLocal Origin = iota
+	OriginRemote
+)
+
+func (o Origin) String() string {
+	if o == OriginLocal {
+		return "local"
+	}
+	return "remote"
+}
+
+// ConnState is the TSPU's connection-tracking state. Timeouts for these
+// states were measured in §5.3.3 (Table 2) and do not match any documented
+// OS conntrack implementation (Table 7).
+type ConnState int
+
+// Connection-tracking states.
+const (
+	CTSynSent ConnState = iota
+	CTSynRecv
+	CTEstablished
+)
+
+func (s ConnState) String() string {
+	switch s {
+	case CTSynSent:
+		return "SYN_SENT"
+	case CTSynRecv:
+		return "SYN_RCVD"
+	case CTEstablished:
+		return "ESTABLISHED"
+	}
+	return "?"
+}
+
+// StateTimeouts holds the conntrack and blocking-state lifetimes. Defaults
+// are the paper's measured values (Table 2).
+type StateTimeouts struct {
+	SynSent     time.Duration // 60 s
+	SynRecv     time.Duration // 105 s
+	Established time.Duration // 480 s
+	SNI1        time.Duration // 75 s
+	SNI2        time.Duration // 420 s
+	SNI4        time.Duration // 40 s
+	QUIC        time.Duration // 420 s
+	Frag        time.Duration // ~5 s fragment queue timeout (§5.3.1)
+}
+
+// DefaultTimeouts returns the values measured in the paper.
+func DefaultTimeouts() StateTimeouts {
+	return StateTimeouts{
+		SynSent:     60 * time.Second,
+		SynRecv:     105 * time.Second,
+		Established: 480 * time.Second,
+		SNI1:        75 * time.Second,
+		SNI2:        420 * time.Second,
+		SNI4:        40 * time.Second,
+		QUIC:        420 * time.Second,
+		Frag:        5 * time.Second,
+	}
+}
+
+func (t StateTimeouts) forState(s ConnState) time.Duration {
+	switch s {
+	case CTSynSent:
+		return t.SynSent
+	case CTSynRecv:
+		return t.SynRecv
+	default:
+		return t.Established
+	}
+}
+
+func (t StateTimeouts) forBlock(b BlockType) time.Duration {
+	switch b {
+	case SNI1:
+		return t.SNI1
+	case SNI2:
+		return t.SNI2
+	case SNI4:
+		return t.SNI4
+	case QUICBlock:
+		return t.QUIC
+	default:
+		return t.Established
+	}
+}
+
+// blockState is an active blocking decision on one flow.
+type blockState struct {
+	typ   BlockType
+	until time.Duration
+	// allowance is the number of further packets SNI-II lets through before
+	// symmetric drops begin.
+	allowance int
+	// bucket polices SNI-III throttled flows.
+	bucket *tokenBucket
+}
+
+// flowEntry is one conntrack record.
+type flowEntry struct {
+	key     packet.FlowKey // canonical
+	origin  Origin
+	state   ConnState
+	expires time.Duration
+	// sawRemoteSYN marks local-origin flows that later carried a SYN from
+	// the remote peer (split handshake / simultaneous open). These are the
+	// green paths of Fig. 4: the role heuristic is confused, SNI-I no longer
+	// acts, and only the SNI-IV backup can fire.
+	sawRemoteSYN bool
+	// sawSYNACK gates promotion to ESTABLISHED on a real handshake.
+	sawSYNACK bool
+	block     *blockState
+	// immune records trigger types that this flow escaped via the device's
+	// per-connection failure roll (Table 1): retrying the same trigger on
+	// the same connection stays unblocked, a fresh connection re-rolls.
+	immune map[BlockType]bool
+	// ipVerdictKnown/ipBlocked cache the per-flow IP-block decision.
+	ipVerdictKnown bool
+	ipBlocked      bool
+}
+
+func (e *flowEntry) roleConfused() bool {
+	return e.origin == OriginLocal && e.sawRemoteSYN
+}
+
+// conntrack is the device's flow table with lazy expiry against the virtual
+// clock.
+type conntrack struct {
+	table    map[packet.FlowKey]*flowEntry
+	timeouts StateTimeouts
+	// Evictions counts lazily expired entries (visible in device stats).
+	evictions int
+	// cap implements the optional flow-table bound (resources.go).
+	cap capacityState
+}
+
+func newConntrack(t StateTimeouts) *conntrack {
+	return &conntrack{table: make(map[packet.FlowKey]*flowEntry), timeouts: t}
+}
+
+// lookup returns the live entry for pkt's flow, expiring stale state.
+func (ct *conntrack) lookup(key packet.FlowKey, now time.Duration) *flowEntry {
+	e, ok := ct.table[key]
+	if !ok {
+		return nil
+	}
+	if now >= e.expires {
+		delete(ct.table, key)
+		ct.evictions++
+		return nil
+	}
+	return e
+}
+
+// observe updates (or creates) the entry for one packet and returns it.
+// dirLocal reports whether the packet travels local→remote. The transition
+// rules encode the paper's findings:
+//
+//   - A flow's origin is the direction of the first packet seen; sequences
+//     starting with a remote packet are never valid blocking prefixes.
+//   - A bare SYN from the remote peer on a local-origin flow marks the role
+//     heuristic as confused (Fig. 4's green paths).
+//   - A bare ACK arriving in SYN_SENT restarts tracking with the ACK's
+//     direction as origin; the observed PASS on the "Local SYN, Remote ACK,
+//     trigger" sequence of Table 8 is only explainable if the TSPU replaces
+//     rather than updates its entry on unsolicited ACKs.
+//   - Promotion to ESTABLISHED requires having seen a SYN/ACK.
+func (ct *conntrack) observe(pkt *packet.Packet, key packet.FlowKey, dirLocal bool, now time.Duration) *flowEntry {
+	e := ct.lookup(key, now)
+	t := pkt.TCP
+
+	newEntry := func(state ConnState) *flowEntry {
+		origin := OriginRemote
+		if dirLocal {
+			origin = OriginLocal
+		}
+		ne := &flowEntry{
+			key:     key,
+			origin:  origin,
+			state:   state,
+			expires: now + ct.timeouts.forState(state),
+			immune:  make(map[BlockType]bool),
+		}
+		ct.table[key] = ne
+		ct.noteInsert(key)
+		return ne
+	}
+
+	if e == nil {
+		state := CTEstablished // data/ACK-opened entries age like established
+		if t != nil {
+			switch {
+			case t.Flags.Has(packet.FlagsSYNACK):
+				state = CTSynRecv
+			case t.Flags.Has(packet.FlagSYN):
+				state = CTSynSent
+			}
+		}
+		e = newEntry(state)
+		if t != nil && t.Flags.Has(packet.FlagsSYNACK) {
+			e.sawSYNACK = true
+		}
+		return e
+	}
+
+	if t != nil {
+		flags := t.Flags
+		switch {
+		case flags.Has(packet.FlagsSYNACK):
+			e.sawSYNACK = true
+			if e.state == CTSynSent || e.state == CTSynRecv {
+				e.state = CTEstablished
+			}
+		case flags.Has(packet.FlagSYN):
+			if !dirLocal && e.origin == OriginLocal {
+				e.sawRemoteSYN = true
+			}
+			if e.state == CTSynSent {
+				e.state = CTSynRecv
+			}
+		case flags.Has(packet.FlagACK):
+			bareACK := flags == packet.FlagACK && len(t.Payload) == 0
+			ackFromOpposite := (e.origin == OriginLocal) != dirLocal
+			if bareACK && e.state == CTSynSent && ackFromOpposite {
+				// Unsolicited bare ACK from the peer of the opener: restart
+				// tracking as a remote-originated (exempt) connection. This
+				// is the only reading consistent with both Table 8's
+				// "Ls;Ra;Lt -> PASS" and Fig. 4's finding that remote-first
+				// sequences are never valid prefixes. Data-bearing ACKs
+				// never restart — otherwise every trigger ClientHello would
+				// reset the flow it rides on.
+				delete(ct.table, key)
+				ne := newEntry(CTEstablished)
+				ne.origin = OriginRemote
+				return ne
+			}
+			if e.state == CTSynRecv && e.sawSYNACK {
+				e.state = CTEstablished
+			}
+		}
+	}
+	// Activity refreshes the state timer, but never shortens an active
+	// blocking hold.
+	exp := now + ct.timeouts.forState(e.state)
+	if e.block != nil && e.block.until > exp {
+		exp = e.block.until
+	}
+	e.expires = exp
+	return e
+}
+
+// setBlock installs a blocking state on the entry and extends its lifetime
+// to cover it.
+func (ct *conntrack) setBlock(e *flowEntry, typ BlockType, now time.Duration, allowance int, bucket *tokenBucket) {
+	e.block = &blockState{
+		typ:       typ,
+		until:     now + ct.timeouts.forBlock(typ),
+		allowance: allowance,
+		bucket:    bucket,
+	}
+	if e.block.until > e.expires {
+		e.expires = e.block.until
+	}
+}
+
+// activeBlock returns the entry's blocking state if it has not expired.
+func (e *flowEntry) activeBlock(now time.Duration) *blockState {
+	if e.block == nil || now >= e.block.until {
+		return nil
+	}
+	return e.block
+}
+
+// size reports the number of table entries (including not-yet-swept stale
+// ones).
+func (ct *conntrack) size() int { return len(ct.table) }

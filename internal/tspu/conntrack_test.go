@@ -1,0 +1,208 @@
+package tspu
+
+import (
+	"testing"
+	"time"
+
+	"tspusim/internal/packet"
+)
+
+var (
+	ctLocal  = packet.MustAddr("10.0.0.2")
+	ctRemote = packet.MustAddr("203.0.113.10")
+)
+
+func tcpPkt(local bool, flags packet.TCPFlags) (*packet.Packet, packet.FlowKey, bool) {
+	var p *packet.Packet
+	if local {
+		p = packet.NewTCP(ctLocal, ctRemote, 40000, 443, flags, 100, 0, nil)
+	} else {
+		p = packet.NewTCP(ctRemote, ctLocal, 443, 40000, flags, 200, 0, nil)
+	}
+	return p, packet.FlowOf(p).Canonical(), local
+}
+
+func TestOriginFromFirstPacket(t *testing.T) {
+	ct := newConntrack(DefaultTimeouts())
+	p, key, local := tcpPkt(false, packet.FlagSYN)
+	e := ct.observe(p, key, local, 0)
+	if e.origin != OriginRemote {
+		t.Fatal("remote-first flow not OriginRemote")
+	}
+	ct2 := newConntrack(DefaultTimeouts())
+	p2, key2, local2 := tcpPkt(true, packet.FlagSYN)
+	e2 := ct2.observe(p2, key2, local2, 0)
+	if e2.origin != OriginLocal {
+		t.Fatal("local-first flow not OriginLocal")
+	}
+}
+
+func TestStateProgression(t *testing.T) {
+	ct := newConntrack(DefaultTimeouts())
+	syn, key, _ := tcpPkt(true, packet.FlagSYN)
+	e := ct.observe(syn, key, true, 0)
+	if e.state != CTSynSent {
+		t.Fatalf("after SYN: %v", e.state)
+	}
+	sa, _, _ := tcpPkt(false, packet.FlagsSYNACK)
+	e = ct.observe(sa, key, false, time.Second)
+	if e.state != CTEstablished || !e.sawSYNACK {
+		t.Fatalf("after SYN/ACK: %v", e.state)
+	}
+}
+
+func TestSimultaneousOpenStaysSynRecv(t *testing.T) {
+	// Ls;Rs;La must remain SYN_RCVD (no SYN/ACK seen), which is what gives
+	// the 105s measurement of Table 2.
+	ct := newConntrack(DefaultTimeouts())
+	syn, key, _ := tcpPkt(true, packet.FlagSYN)
+	e := ct.observe(syn, key, true, 0)
+	rsyn, _, _ := tcpPkt(false, packet.FlagSYN)
+	e = ct.observe(rsyn, key, false, time.Second)
+	if e.state != CTSynRecv {
+		t.Fatalf("after remote SYN: %v", e.state)
+	}
+	if !e.sawRemoteSYN || !e.roleConfused() {
+		t.Fatal("role confusion not flagged")
+	}
+	ack, _, _ := tcpPkt(true, packet.FlagACK)
+	e = ct.observe(ack, key, true, 2*time.Second)
+	if e.state != CTSynRecv {
+		t.Fatalf("ACK without SYN/ACK promoted to %v", e.state)
+	}
+}
+
+func TestUnsolicitedACKRestartsTracking(t *testing.T) {
+	// Ls;Ra: the remote bare ACK in SYN_SENT replaces the entry with a
+	// remote-origin one (Table 8's "Ls;Ra;Lt -> PASS").
+	ct := newConntrack(DefaultTimeouts())
+	syn, key, _ := tcpPkt(true, packet.FlagSYN)
+	ct.observe(syn, key, true, 0)
+	ack, _, _ := tcpPkt(false, packet.FlagACK)
+	e := ct.observe(ack, key, false, time.Second)
+	if e.origin != OriginRemote {
+		t.Fatalf("origin after unsolicited ACK = %v, want remote", e.origin)
+	}
+	if e.state != CTEstablished {
+		t.Fatalf("state = %v", e.state)
+	}
+}
+
+func TestEntryExpiry(t *testing.T) {
+	ct := newConntrack(DefaultTimeouts())
+	syn, key, _ := tcpPkt(false, packet.FlagSYN)
+	ct.observe(syn, key, false, 0)
+	if ct.lookup(key, 59*time.Second) == nil {
+		t.Fatal("SYN_SENT entry gone before 60s")
+	}
+	if ct.lookup(key, 61*time.Second) != nil {
+		t.Fatal("SYN_SENT entry alive after 60s")
+	}
+	if ct.evictions != 1 {
+		t.Fatalf("evictions = %d", ct.evictions)
+	}
+}
+
+func TestActivityRefreshesTimer(t *testing.T) {
+	ct := newConntrack(DefaultTimeouts())
+	syn, key, _ := tcpPkt(true, packet.FlagSYN)
+	ct.observe(syn, key, true, 0)
+	sa, _, _ := tcpPkt(false, packet.FlagsSYNACK)
+	ct.observe(sa, key, false, 30*time.Second) // promotes to ESTABLISHED
+	// 480s from the refresh, not from creation.
+	if ct.lookup(key, 500*time.Second) == nil {
+		t.Fatal("refresh did not extend lifetime")
+	}
+	if ct.lookup(key, 511*time.Second) != nil {
+		t.Fatal("established entry immortal")
+	}
+}
+
+func TestBlockExtendsEntryLifetime(t *testing.T) {
+	tt := DefaultTimeouts()
+	ct := newConntrack(tt)
+	p, key, _ := tcpPkt(true, packet.FlagsPSHACK)
+	e := ct.observe(p, key, true, 0)
+	ct.setBlock(e, SNI2, 0, 6, nil)
+	if e.activeBlock(419*time.Second) == nil {
+		t.Fatal("SNI-II block expired early")
+	}
+	if e.activeBlock(421*time.Second) != nil {
+		t.Fatal("SNI-II block outlived 420s")
+	}
+	if e.expires < 420*time.Second {
+		t.Fatal("entry expires before its block")
+	}
+}
+
+func TestBlockTimeoutValuesMatchTable2(t *testing.T) {
+	tt := DefaultTimeouts()
+	want := map[BlockType]time.Duration{
+		SNI1:      75 * time.Second,
+		SNI2:      420 * time.Second,
+		SNI4:      40 * time.Second,
+		QUICBlock: 420 * time.Second,
+	}
+	for b, d := range want {
+		if got := tt.forBlock(b); got != d {
+			t.Errorf("forBlock(%v) = %v, want %v", b, got, d)
+		}
+	}
+	if tt.forState(CTSynSent) != 60*time.Second ||
+		tt.forState(CTSynRecv) != 105*time.Second ||
+		tt.forState(CTEstablished) != 480*time.Second {
+		t.Fatal("state timeouts do not match Table 2")
+	}
+}
+
+func TestRemoteSYNOnRemoteOriginNotConfused(t *testing.T) {
+	ct := newConntrack(DefaultTimeouts())
+	rs, key, _ := tcpPkt(false, packet.FlagSYN)
+	e := ct.observe(rs, key, false, 0)
+	rs2, _, _ := tcpPkt(false, packet.FlagSYN)
+	e = ct.observe(rs2, key, false, time.Second)
+	if e.roleConfused() {
+		t.Fatal("remote-origin flow marked confused")
+	}
+}
+
+func TestBucketThrottle(t *testing.T) {
+	tb := newTokenBucket(650, 1460, 0)
+	// First MSS-sized burst conforms.
+	if !tb.admit(1400, 0) {
+		t.Fatal("burst rejected")
+	}
+	// Immediately after, a large packet exceeds the rate.
+	if tb.admit(1000, 0) {
+		t.Fatal("over-rate packet admitted")
+	}
+	// Pure ACKs always conform.
+	if !tb.admit(0, 0) {
+		t.Fatal("zero-length packet rejected")
+	}
+	// After 2 seconds, 1300 bytes of budget accrued.
+	if !tb.admit(1200, 2*time.Second) {
+		t.Fatal("packet within refilled budget rejected")
+	}
+	if tb.admit(1200, 2*time.Second) {
+		t.Fatal("budget double-spent")
+	}
+}
+
+func TestBucketCapsAtBurst(t *testing.T) {
+	tb := newTokenBucket(650, 1460, 0)
+	tb.admit(0, time.Hour) // long idle: tokens must cap at burst
+	if tb.admit(1461, time.Hour) {
+		t.Fatal("bucket exceeded burst capacity")
+	}
+	if !tb.admit(1460, time.Hour) {
+		t.Fatal("full burst rejected after idle")
+	}
+}
+
+func TestBucketDefaults(t *testing.T) {
+	tb := newTokenBucket(0, 0, 0)
+	if tb.rate != 650 || tb.burst != 1460 {
+		t.Fatalf("defaults = %v/%v", tb.rate, tb.burst)
+	}
+}

@@ -1,0 +1,412 @@
+package tspu
+
+import (
+	"time"
+
+	"tspusim/internal/netem"
+	"tspusim/internal/packet"
+	"tspusim/internal/quicx"
+	"tspusim/internal/sim"
+	"tspusim/internal/tlsx"
+)
+
+// Config configures one TSPU device instance.
+type Config struct {
+	// Name identifies the device in stats and traces.
+	Name string
+	// Sim supplies virtual time.
+	Sim *sim.Sim
+	// Rand drives failure injection and the SNI-II allowance pick. Nil gets
+	// a fixed-seed stream.
+	Rand *sim.Rand
+	// LocalDir is the link direction corresponding to local→remote
+	// (RU→outside) travel. The device's asymmetric behavior — blocking only
+	// locally-originated connections — is expressed relative to this.
+	LocalDir netem.Direction
+	// InspectDepth bounds how many payload bytes the SNI parser examines
+	// (default 512). The paper's padding/prepending evasions work because
+	// the real device's inspection is similarly bounded.
+	InspectDepth int
+	// FragLimit is the fragment-queue cap (default 45, the TSPU
+	// fingerprint).
+	FragLimit int
+	// Timeouts default to the paper's measured values.
+	Timeouts StateTimeouts
+	// FailureRates gives the per-connection probability that a trigger of
+	// each type is missed (Table 1). Devices without an entry never fail.
+	FailureRates map[BlockType]float64
+	// SNI2AllowanceMin/Max bound the "additional five to eight packets"
+	// SNI-II delivers after its trigger (§5.2).
+	SNI2AllowanceMin, SNI2AllowanceMax int
+
+	// ReassembleTCP is an ablation switch: reassemble upstream TCP payload
+	// per flow before SNI inspection, like the GFW has done since 2013 (§8).
+	// The real TSPU does not, which is why TCP segmentation evades it.
+	ReassembleTCP bool
+	// StrictRoles is an ablation switch: apply SNI triggers regardless of
+	// inferred roles, patching the split-handshake/simultaneous-open
+	// evasions at the cost of blocking remote-originated flows.
+	StrictRoles bool
+}
+
+// Stats counts device activity.
+type Stats struct {
+	Handled     int
+	Triggers    map[BlockType]int
+	Misses      map[BlockType]int // failure-injected trigger misses
+	Dropped     int
+	Rewritten   int
+	Throttled   int
+	FragBuffers int
+}
+
+// Device is one TSPU middlebox. Attach it to a netem link; it inspects every
+// packet crossing in both directions. It is not safe for concurrent use (the
+// simulator is single-threaded).
+type Device struct {
+	cfg      Config
+	policy   *Policy
+	rng      *sim.Rand
+	ct       *conntrack
+	frags    *fragEngine
+	stats    Stats
+	timeouts StateTimeouts
+	// reasm holds per-flow upstream byte buffers for the ReassembleTCP
+	// ablation.
+	reasm map[packet.FlowKey][]byte
+	// sweepEvery/lastSweep drive datapath-piggybacked housekeeping.
+	sweepEvery time.Duration
+	lastSweep  time.Duration
+}
+
+// NewDevice creates a device. If no controller registers it, it enforces an
+// empty policy.
+func NewDevice(cfg Config) *Device {
+	if cfg.InspectDepth == 0 {
+		cfg.InspectDepth = 512
+	}
+	if cfg.SNI2AllowanceMin == 0 {
+		cfg.SNI2AllowanceMin = 5
+	}
+	if cfg.SNI2AllowanceMax < cfg.SNI2AllowanceMin {
+		cfg.SNI2AllowanceMax = cfg.SNI2AllowanceMin + 3
+	}
+	if (cfg.Timeouts == StateTimeouts{}) {
+		cfg.Timeouts = DefaultTimeouts()
+	}
+	rng := cfg.Rand
+	if rng == nil {
+		rng = sim.NewRand(0x75b7)
+	}
+	d := &Device{
+		cfg:      cfg,
+		policy:   NewPolicy(),
+		rng:      rng,
+		ct:       newConntrack(cfg.Timeouts),
+		frags:    newFragEngine(cfg.FragLimit, cfg.Timeouts.Frag),
+		timeouts: cfg.Timeouts,
+		reasm:    make(map[packet.FlowKey][]byte),
+	}
+	d.stats.Triggers = make(map[BlockType]int)
+	d.stats.Misses = make(map[BlockType]int)
+	return d
+}
+
+// Name implements netem.Middlebox.
+func (d *Device) Name() string {
+	if d.cfg.Name != "" {
+		return d.cfg.Name
+	}
+	return "tspu"
+}
+
+// Policy returns the device's current policy.
+func (d *Device) Policy() *Policy { return d.policy }
+
+// SetPolicy installs a policy directly (tests; production path is the
+// Controller).
+func (d *Device) SetPolicy(p *Policy) { d.policy = p }
+
+// Stats returns a copy of the device counters.
+func (d *Device) Stats() Stats { return d.stats }
+
+// ConntrackSize exposes the flow-table size for resource experiments.
+func (d *Device) ConntrackSize() int { return d.ct.size() }
+
+// PendingFragQueues exposes the fragment-engine queue count.
+func (d *Device) PendingFragQueues() int { return d.frags.pending() }
+
+func (d *Device) now() time.Duration { return d.cfg.Sim.Now() }
+
+// isLocalDir reports whether dir is the local→remote direction.
+func (d *Device) isLocalDir(dir netem.Direction) bool { return dir == d.cfg.LocalDir }
+
+// Handle implements netem.Middlebox: the full TSPU datapath for one packet.
+func (d *Device) Handle(pipe netem.Pipe, pkt *packet.Packet, dir netem.Direction) netem.Action {
+	d.stats.Handled++
+	now := d.now()
+	d.maybeSweep(now)
+
+	// 1. IP-based blocking applies to everything, fragments and ICMP
+	// included, "regardless of packet payload or TCP ports" (§5.2).
+	if act, decided := d.handleIPBlock(pkt, dir, now); decided {
+		return act
+	}
+
+	// 2. Fragments go to the fragment engine; content inspection never sees
+	// them, which is why IP fragmentation evades SNI blocking (§8).
+	if pkt.IsFragment() {
+		d.stats.FragBuffers++
+		return d.frags.handle(pipe, pkt, dir)
+	}
+
+	switch {
+	case pkt.TCP != nil:
+		return d.handleTCP(pkt, dir, now)
+	case pkt.UDP != nil:
+		return d.handleUDP(pkt, dir, now)
+	default:
+		return netem.Pass
+	}
+}
+
+// handleIPBlock implements IP-based blocking (§5.2): a Russian client's
+// outgoing packets to a blocked IP are dropped, while responses to a
+// connection the blocked IP initiated are rewritten to payload-stripped
+// RST/ACKs — the signal the Tor-node correlation experiments look for. The
+// device discriminates initiation from response by the ACK flag rather than
+// by conntrack origin: an upstream-only installation never sees the inbound
+// SYN, yet the paper observes it still rewrites the outbound SYN/ACK, so the
+// decision cannot depend on having tracked the flow from its start.
+func (d *Device) handleIPBlock(pkt *packet.Packet, dir netem.Direction, now time.Duration) (netem.Action, bool) {
+	dstBlocked := d.policy.IPBlocked(pkt.IP.Dst)
+	srcBlocked := d.policy.IPBlocked(pkt.IP.Src)
+	if !dstBlocked && !srcBlocked {
+		return netem.Pass, false
+	}
+
+	// ICMP involving blocked IPs is dropped in both directions.
+	if pkt.IP.Protocol == packet.ProtoICMP {
+		d.stats.Dropped++
+		return netem.Drop, true
+	}
+
+	if pkt.TCP != nil || pkt.UDP != nil {
+		// The per-connection failure roll is cached on the flow entry.
+		key := packet.FlowOf(pkt).Canonical()
+		e := d.ct.observe(pkt, key, d.isLocalDir(dir), now)
+		if !e.ipVerdictKnown {
+			e.ipVerdictKnown = true
+			e.ipBlocked = !d.failRoll(IPBlock)
+			if e.ipBlocked {
+				d.stats.Triggers[IPBlock]++
+			}
+		}
+		if !e.ipBlocked {
+			return netem.Pass, true
+		}
+	}
+
+	if d.isLocalDir(dir) && dstBlocked {
+		if pkt.TCP != nil && pkt.TCP.Flags.Has(packet.FlagACK) {
+			// Response-shaped packet: strip the payload and flip to RST/ACK.
+			pkt.TCP.Payload = nil
+			pkt.TCP.Flags = packet.FlagsRSTACK
+			d.stats.Rewritten++
+			return netem.Pass, true
+		}
+		// Initiation-shaped (SYN, or non-TCP): dropped at the TSPU.
+		d.stats.Dropped++
+		return netem.Drop, true
+	}
+	// Inbound from a blocked IP: the request is allowed through.
+	return netem.Pass, true
+}
+
+// failRoll returns true when the device misses this trigger (per-connection
+// failure injection, Table 1).
+func (d *Device) failRoll(t BlockType) bool {
+	rate, ok := d.cfg.FailureRates[t]
+	if !ok || rate <= 0 {
+		return false
+	}
+	if d.rng.Bool(rate) {
+		d.stats.Misses[t]++
+		return true
+	}
+	return false
+}
+
+func (d *Device) handleTCP(pkt *packet.Packet, dir netem.Direction, now time.Duration) netem.Action {
+	key := packet.FlowOf(pkt).Canonical()
+	e := d.ct.observe(pkt, key, d.isLocalDir(dir), now)
+
+	// Active blocking state takes precedence over new trigger detection.
+	if b := e.activeBlock(now); b != nil {
+		return d.applyBlock(e, b, pkt, dir, now)
+	}
+
+	// Trigger detection happens only on local→remote packets: "any sequence
+	// starting with a packet sent by the remote peer is NOT a valid prefix"
+	// (§5.3.2).
+	if d.isLocalDir(dir) && len(pkt.TCP.Payload) > 0 && pkt.TCP.DstPort == 443 {
+		if act := d.detectSNITrigger(e, pkt, now); act != netem.Pass {
+			return act
+		}
+	}
+	return netem.Pass
+}
+
+// detectSNITrigger inspects one upstream payload for a triggering
+// ClientHello and installs the matching blocking state.
+func (d *Device) detectSNITrigger(e *flowEntry, pkt *packet.Packet, now time.Duration) netem.Action {
+	if e.origin == OriginRemote && !d.cfg.StrictRoles {
+		return netem.Pass // remotely-originated connections are exempt
+	}
+	sni, ok := d.extractSNI(e, pkt)
+	if !ok {
+		return netem.Pass
+	}
+	cls := d.policy.Classify(sni)
+	if !cls.Any() {
+		return netem.Pass
+	}
+
+	confused := e.roleConfused() && !d.cfg.StrictRoles
+
+	// SNI-III throttling takes precedence while its policy window is
+	// active: the same domains moved to SNI-I only after throttling was
+	// switched off on March 4 (§5.2).
+	if cls.Throttle && !e.immune[SNI3] {
+		if d.failRoll(SNI3) {
+			e.immune[SNI3] = true
+		} else {
+			d.stats.Triggers[SNI3]++
+			bucket := newTokenBucket(d.policy.ThrottleRate, 0, now)
+			d.ct.setBlock(e, SNI3, now, 0, bucket)
+			return netem.Pass
+		}
+	}
+
+	// SNI-I: primary mechanism, skipped when the role heuristic was
+	// confused by a remote SYN (Fig. 4 green paths).
+	if cls.SNI1 && !confused && !e.immune[SNI1] {
+		if d.failRoll(SNI1) {
+			e.immune[SNI1] = true
+		} else {
+			d.stats.Triggers[SNI1]++
+			d.ct.setBlock(e, SNI1, now, 0, nil)
+			return netem.Pass // the trigger itself is delivered
+		}
+	}
+	// SNI-IV: backup for its select domain list; fires when SNI-I did not
+	// take action. Drops everything including the trigger.
+	if cls.SNI4 && !e.immune[SNI4] {
+		if d.failRoll(SNI4) {
+			e.immune[SNI4] = true
+		} else {
+			d.stats.Triggers[SNI4]++
+			d.ct.setBlock(e, SNI4, now, 0, nil)
+			d.stats.Dropped++
+			return netem.Drop
+		}
+	}
+	// Role confusion exempts only SNI-I (Fig. 4); SNI-II still fires —
+	// Table 8 measures "Ls;Rs;Lt" as DROP with an SNI-II trigger.
+	// SNI-II: allowance then symmetric drop.
+	if cls.SNI2 && !e.immune[SNI2] {
+		if d.failRoll(SNI2) {
+			e.immune[SNI2] = true
+		} else {
+			d.stats.Triggers[SNI2]++
+			allowance := d.rng.IntRange(d.cfg.SNI2AllowanceMin, d.cfg.SNI2AllowanceMax)
+			d.ct.setBlock(e, SNI2, now, allowance, nil)
+			return netem.Pass
+		}
+	}
+	return netem.Pass
+}
+
+// extractSNI parses the packet payload (depth-limited, single record) for a
+// ClientHello SNI. With the ReassembleTCP ablation the device instead
+// accumulates upstream bytes per flow and parses the stream prefix, which
+// defeats TCP segmentation evasion.
+func (d *Device) extractSNI(e *flowEntry, pkt *packet.Packet) (string, bool) {
+	buf := pkt.TCP.Payload
+	if d.cfg.ReassembleTCP {
+		acc := append(d.reasm[e.key], pkt.TCP.Payload...)
+		if len(acc) > 4096 {
+			acc = acc[:4096]
+		}
+		d.reasm[e.key] = acc
+		buf = acc
+		if info, err := tlsx.ParseClientHelloDeep(buf); err == nil && info.ServerName != "" {
+			return info.ServerName, true
+		}
+		return "", false
+	}
+	if len(buf) > d.cfg.InspectDepth {
+		buf = buf[:d.cfg.InspectDepth]
+	}
+	info, err := tlsx.ParseClientHello(buf)
+	if err != nil || info.ServerName == "" {
+		return "", false
+	}
+	return info.ServerName, true
+}
+
+// applyBlock enforces an installed blocking state on one packet.
+func (d *Device) applyBlock(e *flowEntry, b *blockState, pkt *packet.Packet, dir netem.Direction, now time.Duration) netem.Action {
+	switch b.typ {
+	case SNI1:
+		// Acts only on downstream (remote→local) packets: truncate payload,
+		// set RST/ACK; TTL, seq, and ack are left untouched (§5.2).
+		if !d.isLocalDir(dir) {
+			pkt.TCP.Payload = nil
+			pkt.TCP.Flags = packet.FlagsRSTACK
+			d.stats.Rewritten++
+		}
+		return netem.Pass
+	case SNI2:
+		if b.allowance > 0 {
+			b.allowance--
+			return netem.Pass
+		}
+		d.stats.Dropped++
+		return netem.Drop
+	case SNI3:
+		if b.bucket.admit(len(pkt.AppPayload()), now) {
+			return netem.Pass
+		}
+		d.stats.Throttled++
+		return netem.Drop
+	case SNI4, QUICBlock:
+		d.stats.Dropped++
+		return netem.Drop
+	}
+	return netem.Pass
+}
+
+func (d *Device) handleUDP(pkt *packet.Packet, dir netem.Direction, now time.Duration) netem.Action {
+	key := packet.FlowOf(pkt).Canonical()
+	e := d.ct.observe(pkt, key, d.isLocalDir(dir), now)
+
+	if b := e.activeBlock(now); b != nil {
+		return d.applyBlock(e, b, pkt, dir, now)
+	}
+	if !d.policy.QUICFilter || !d.isLocalDir(dir) {
+		return netem.Pass
+	}
+	if quicx.MatchesTSPUFingerprint(pkt.UDP.DstPort, pkt.UDP.Payload) && !e.immune[QUICBlock] {
+		if d.failRoll(QUICBlock) {
+			e.immune[QUICBlock] = true
+		} else {
+			d.stats.Triggers[QUICBlock]++
+			d.ct.setBlock(e, QUICBlock, now, 0, nil)
+			// The fingerprinted packet itself is delivered; everything after
+			// is dropped "regardless of their length or the presence of the
+			// QUIC fingerprint" (§5.2).
+		}
+	}
+	return netem.Pass
+}

@@ -1,0 +1,47 @@
+package tspu_test
+
+import (
+	"fmt"
+
+	"tspusim/internal/netem"
+	"tspusim/internal/sim"
+	"tspusim/internal/tspu"
+)
+
+func ExampleDomainSet_Contains() {
+	s := tspu.NewDomainSet("twitter.com")
+	fmt.Println(s.Contains("api.twitter.com"))
+	fmt.Println(s.Contains("TWITTER.COM."))
+	fmt.Println(s.Contains("nottwitter.com"))
+	// Output:
+	// true
+	// true
+	// false
+}
+
+func ExampleController_Update() {
+	clock := sim.New()
+	ctl := tspu.NewController(nil)
+	perm := tspu.NewDevice(tspu.Config{Name: "perm", Sim: clock, LocalDir: netem.AtoB})
+	khabarovsk := tspu.NewDevice(tspu.Config{Name: "khv", Sim: clock, LocalDir: netem.AtoB})
+	ctl.Register(perm)
+	ctl.Register(khabarovsk)
+
+	ctl.Update(func(p *tspu.Policy) { p.SNI1Domains.Add("meduza.io") })
+
+	// Every device in the country now enforces the same policy version.
+	fmt.Println(perm.Policy().Version, perm.Policy().SNI1Domains.Contains("meduza.io"))
+	fmt.Println(khabarovsk.Policy().Version, khabarovsk.Policy().SNI1Domains.Contains("news.meduza.io"))
+	// Output:
+	// 1 true
+	// 1 true
+}
+
+func ExamplePolicy_Classify() {
+	p := tspu.NewPolicy()
+	p.SNI1Domains.Add("twitter.com")
+	p.SNI4Domains.Add("twitter.com")
+	c := p.Classify("mobile.twitter.com")
+	fmt.Printf("SNI-I=%v SNI-II=%v SNI-IV=%v\n", c.SNI1, c.SNI2, c.SNI4)
+	// Output: SNI-I=true SNI-II=false SNI-IV=true
+}

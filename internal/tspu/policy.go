@@ -1,0 +1,284 @@
+// Package tspu implements the paper's primary contribution as an executable
+// model: the TSPU middlebox. The device is in-path (it can drop and rewrite
+// packets, §5.2), stateful (it tracks connection roles and states with the
+// measured timeouts of §5.3.3), asymmetric (it blocks only connections that
+// originate from the local/Russian side), and centrally controlled (every
+// device consumes one Policy distributed by a Controller, reproducing the
+// cross-ISP uniformity of §5.1).
+//
+// Triggers: SNI-based (structural ClientHello parse, four behaviors),
+// QUIC-v1 fingerprint, and IP-based blocking. Fragment handling implements
+// §5.3.1 exactly: buffer-until-last, forward unreassembled, TTL rewrite to
+// the first fragment's TTL, 45-fragment queue limit, duplicate/overlap
+// discard, and a 5-second queue timeout.
+package tspu
+
+import (
+	"net/netip"
+	"strings"
+	"time"
+
+	"tspusim/internal/sim"
+)
+
+// BlockType enumerates the paper's six blocking behaviors.
+type BlockType int
+
+// Blocking behaviors (§5.2).
+const (
+	// SNI1 rewrites remote-to-local packets to payload-stripped RST/ACK
+	// after a triggering ClientHello.
+	SNI1 BlockType = iota
+	// SNI2 allows a handful more packets from either side, then drops
+	// symmetrically ("out-registry" domains like play.google.com).
+	SNI2
+	// SNI3 throttles the flow to ~600-700 bytes/second (the Feb 26 - Mar 4
+	// 2022 policy for twitter.com and fbcdn.net).
+	SNI3
+	// SNI4 is the backup mechanism that drops all packets from both sides,
+	// including the trigger, for select Facebook/Twitter domains when SNI1
+	// fails to act.
+	SNI4
+	// QUICBlock drops all packets of a flow after a QUIC v1 initial.
+	QUICBlock
+	// IPBlock drops or rewrites traffic to/from blocked IPs regardless of
+	// payload or port.
+	IPBlock
+)
+
+func (b BlockType) String() string {
+	switch b {
+	case SNI1:
+		return "SNI-I"
+	case SNI2:
+		return "SNI-II"
+	case SNI3:
+		return "SNI-III"
+	case SNI4:
+		return "SNI-IV"
+	case QUICBlock:
+		return "QUIC"
+	case IPBlock:
+		return "IP"
+	}
+	return "?"
+}
+
+// DomainSet matches fully-qualified names exactly and any subdomain of an
+// entry (twitter.com matches api.twitter.com).
+type DomainSet struct {
+	exact map[string]bool
+}
+
+// NewDomainSet builds a set from entries.
+func NewDomainSet(domains ...string) *DomainSet {
+	s := &DomainSet{exact: make(map[string]bool, len(domains))}
+	s.Add(domains...)
+	return s
+}
+
+// Add inserts domains.
+func (s *DomainSet) Add(domains ...string) {
+	for _, d := range domains {
+		s.exact[strings.ToLower(strings.TrimSuffix(d, "."))] = true
+	}
+}
+
+// Remove deletes domains.
+func (s *DomainSet) Remove(domains ...string) {
+	for _, d := range domains {
+		delete(s.exact, strings.ToLower(strings.TrimSuffix(d, ".")))
+	}
+}
+
+// Contains reports whether name or any parent domain of name is in the set.
+func (s *DomainSet) Contains(name string) bool {
+	if s == nil {
+		return false
+	}
+	name = strings.ToLower(strings.TrimSuffix(name, "."))
+	for name != "" {
+		if s.exact[name] {
+			return true
+		}
+		i := strings.IndexByte(name, '.')
+		if i < 0 {
+			return false
+		}
+		name = name[i+1:]
+	}
+	return false
+}
+
+// Len returns the number of entries.
+func (s *DomainSet) Len() int {
+	if s == nil {
+		return 0
+	}
+	return len(s.exact)
+}
+
+// Domains returns the entries (unsorted).
+func (s *DomainSet) Domains() []string {
+	if s == nil {
+		return nil
+	}
+	out := make([]string, 0, len(s.exact))
+	for d := range s.exact {
+		out = append(out, d)
+	}
+	return out
+}
+
+// Clone deep-copies the set.
+func (s *DomainSet) Clone() *DomainSet {
+	c := NewDomainSet()
+	if s != nil {
+		for d := range s.exact {
+			c.exact[d] = true
+		}
+	}
+	return c
+}
+
+// Policy is the centrally-distributed blocking policy that every TSPU device
+// enforces. Unlike the per-ISP blocklists of the pre-2019 decentralized
+// model, one Policy value is shared verbatim by all devices (§5.1), and it
+// may include "out-registry" resources absent from Roskomnadzor's public
+// registry.
+type Policy struct {
+	// Version increments on every controller push.
+	Version int
+	// SNI1Domains, SNI2Domains, SNI4Domains select the SNI behaviors. SNI4
+	// is applied as a backup for its domains when SNI1 cannot act.
+	SNI1Domains *DomainSet
+	SNI2Domains *DomainSet
+	SNI4Domains *DomainSet
+	// ThrottleDomains selects SNI-III throttling (active only while
+	// ThrottleActive, matching the Feb 26 - Mar 4 window).
+	ThrottleDomains *DomainSet
+	ThrottleActive  bool
+	// ThrottleRate is the SNI-III policing rate in bytes/second (paper:
+	// 600-700 B/s; default 650).
+	ThrottleRate int
+	// BlockedIPs are IP-blocked endpoints (the Tor entry node and six other
+	// IPs in the paper), none of which need be in the public registry.
+	BlockedIPs map[netip.Addr]bool
+	// QUICFilter enables the QUIC v1 fingerprint filter (on since Mar 4).
+	QUICFilter bool
+}
+
+// NewPolicy returns an empty policy with defaults.
+func NewPolicy() *Policy {
+	return &Policy{
+		SNI1Domains:     NewDomainSet(),
+		SNI2Domains:     NewDomainSet(),
+		SNI4Domains:     NewDomainSet(),
+		ThrottleDomains: NewDomainSet(),
+		ThrottleRate:    650,
+		BlockedIPs:      make(map[netip.Addr]bool),
+		QUICFilter:      true,
+	}
+}
+
+// Clone deep-copies the policy.
+func (p *Policy) Clone() *Policy {
+	q := *p
+	q.SNI1Domains = p.SNI1Domains.Clone()
+	q.SNI2Domains = p.SNI2Domains.Clone()
+	q.SNI4Domains = p.SNI4Domains.Clone()
+	q.ThrottleDomains = p.ThrottleDomains.Clone()
+	q.BlockedIPs = make(map[netip.Addr]bool, len(p.BlockedIPs))
+	for ip, v := range p.BlockedIPs {
+		q.BlockedIPs[ip] = v
+	}
+	return &q
+}
+
+// Classification is the set of behaviors a domain maps to.
+type Classification struct {
+	SNI1, SNI2, SNI4, Throttle bool
+}
+
+// Any reports whether any behavior applies.
+func (c Classification) Any() bool { return c.SNI1 || c.SNI2 || c.SNI4 || c.Throttle }
+
+// Classify maps an SNI value to its blocking behaviors under this policy.
+func (p *Policy) Classify(domain string) Classification {
+	c := Classification{
+		SNI1: p.SNI1Domains.Contains(domain),
+		SNI2: p.SNI2Domains.Contains(domain),
+		SNI4: p.SNI4Domains.Contains(domain),
+	}
+	if p.ThrottleActive && p.ThrottleDomains.Contains(domain) {
+		c.Throttle = true
+	}
+	return c
+}
+
+// IPBlocked reports whether addr is IP-blocked.
+func (p *Policy) IPBlocked(addr netip.Addr) bool { return p.BlockedIPs[addr] }
+
+// Controller is Roskomnadzor's control plane: it owns the canonical Policy
+// and pushes updates to every registered device simultaneously, which is
+// what produces the temporal uniformity OONI observed across ISPs (§2).
+type Controller struct {
+	policy  *Policy
+	devices []*Device
+}
+
+// NewController creates a controller with an initial policy (cloned).
+func NewController(p *Policy) *Controller {
+	if p == nil {
+		p = NewPolicy()
+	}
+	return &Controller{policy: p.Clone()}
+}
+
+// Policy returns the controller's current policy (callers must not mutate;
+// use Update).
+func (c *Controller) Policy() *Policy { return c.policy }
+
+// Register attaches a device to this controller and immediately installs the
+// current policy.
+func (c *Controller) Register(d *Device) {
+	c.devices = append(c.devices, d)
+	d.policy = c.policy
+}
+
+// Devices returns all registered devices.
+func (c *Controller) Devices() []*Device { return c.devices }
+
+// Update applies fn to a clone of the current policy, bumps the version, and
+// atomically installs the result on every registered device.
+func (c *Controller) Update(fn func(*Policy)) {
+	next := c.policy.Clone()
+	fn(next)
+	next.Version = c.policy.Version + 1
+	c.policy = next
+	for _, d := range c.devices {
+		d.policy = next
+	}
+}
+
+// UpdateStaggered distributes a policy update the way a real control plane
+// does: each device installs the new policy after its own small delay drawn
+// from [0, maxJitter]. The paper's observers saw exactly this signature —
+// blocking onsets across the whole country within a tight window ("temporal
+// uniformity... in some sort of centralized way", §2) — in contrast to ISP
+// blocklists that lag by days. The returned version identifies the push.
+func (c *Controller) UpdateStaggered(s *sim.Sim, rng *sim.Rand, maxJitter time.Duration, fn func(*Policy)) int {
+	next := c.policy.Clone()
+	fn(next)
+	next.Version = c.policy.Version + 1
+	c.policy = next
+	for _, d := range c.devices {
+		d := d
+		delay := time.Duration(0)
+		if maxJitter > 0 {
+			delay = time.Duration(rng.Uint64() % uint64(maxJitter))
+		}
+		s.After(delay, func() { d.policy = next })
+	}
+	return next.Version
+}

@@ -1,0 +1,150 @@
+package tspu
+
+import (
+	"testing"
+
+	"tspusim/internal/packet"
+)
+
+func TestDomainSetMatching(t *testing.T) {
+	s := NewDomainSet("twitter.com", "play.google.com")
+	cases := []struct {
+		name string
+		want bool
+	}{
+		{"twitter.com", true},
+		{"api.twitter.com", true},
+		{"a.b.twitter.com", true},
+		{"TWITTER.COM", true},
+		{"twitter.com.", true},
+		{"nottwitter.com", false},
+		{"twitter.org", false},
+		{"play.google.com", true},
+		{"google.com", false}, // parent of an entry is not matched
+		{"x.play.google.com", true},
+		{"", false},
+	}
+	for _, c := range cases {
+		if got := s.Contains(c.name); got != c.want {
+			t.Errorf("Contains(%q) = %v, want %v", c.name, got, c.want)
+		}
+	}
+}
+
+func TestDomainSetAddRemove(t *testing.T) {
+	s := NewDomainSet()
+	s.Add("bbc.com")
+	if !s.Contains("news.bbc.com") {
+		t.Fatal("added domain not matched")
+	}
+	s.Remove("bbc.com")
+	if s.Contains("bbc.com") || s.Len() != 0 {
+		t.Fatal("removal failed")
+	}
+}
+
+func TestDomainSetCloneIndependent(t *testing.T) {
+	a := NewDomainSet("x.com")
+	b := a.Clone()
+	b.Add("y.com")
+	if a.Contains("y.com") {
+		t.Fatal("clone aliases original")
+	}
+}
+
+func TestNilDomainSet(t *testing.T) {
+	var s *DomainSet
+	if s.Contains("x.com") || s.Len() != 0 || s.Domains() != nil {
+		t.Fatal("nil set misbehaves")
+	}
+}
+
+func TestClassify(t *testing.T) {
+	p := NewPolicy()
+	p.SNI1Domains.Add("facebook.com", "twitter.com")
+	p.SNI2Domains.Add("play.google.com")
+	p.SNI4Domains.Add("twitter.com")
+	p.ThrottleDomains.Add("fbcdn.net")
+
+	c := p.Classify("twitter.com")
+	if !c.SNI1 || !c.SNI4 || c.SNI2 || c.Throttle {
+		t.Fatalf("twitter.com classify = %+v", c)
+	}
+	c = p.Classify("play.google.com")
+	if !c.SNI2 || c.SNI1 {
+		t.Fatalf("play.google.com classify = %+v", c)
+	}
+	// Throttling inactive by default (post Mar 4 state).
+	if p.Classify("fbcdn.net").Throttle {
+		t.Fatal("throttle classified while inactive")
+	}
+	p.ThrottleActive = true
+	if !p.Classify("fbcdn.net").Throttle {
+		t.Fatal("throttle not classified while active")
+	}
+	if p.Classify("unrelated.org").Any() {
+		t.Fatal("unrelated domain classified")
+	}
+}
+
+func TestControllerUniformPush(t *testing.T) {
+	ctl := NewController(nil)
+	var devs []*Device
+	for i := 0; i < 5; i++ {
+		d := NewDevice(Config{Sim: newTestSim()})
+		ctl.Register(d)
+		devs = append(devs, d)
+	}
+	ctl.Update(func(p *Policy) {
+		p.SNI1Domains.Add("meduza.io")
+		p.BlockedIPs[packet.MustAddr("198.51.100.9")] = true
+	})
+	for i, d := range devs {
+		if !d.Policy().SNI1Domains.Contains("meduza.io") {
+			t.Fatalf("device %d missed domain push", i)
+		}
+		if !d.Policy().IPBlocked(packet.MustAddr("198.51.100.9")) {
+			t.Fatalf("device %d missed IP push", i)
+		}
+		if d.Policy().Version != 1 {
+			t.Fatalf("device %d version = %d", i, d.Policy().Version)
+		}
+	}
+	// Every device must share the identical policy value (uniformity, §5.1).
+	for i := 1; i < len(devs); i++ {
+		if devs[i].Policy() != devs[0].Policy() {
+			t.Fatal("devices hold different policy pointers after push")
+		}
+	}
+	ctl.Update(func(p *Policy) { p.SNI1Domains.Remove("meduza.io") })
+	if devs[3].Policy().SNI1Domains.Contains("meduza.io") {
+		t.Fatal("removal not pushed")
+	}
+	if ctl.Policy().Version != 2 {
+		t.Fatalf("version = %d", ctl.Policy().Version)
+	}
+}
+
+func TestPolicyCloneDeep(t *testing.T) {
+	p := NewPolicy()
+	p.SNI1Domains.Add("a.com")
+	p.BlockedIPs[packet.MustAddr("1.2.3.4")] = true
+	q := p.Clone()
+	q.SNI1Domains.Add("b.com")
+	q.BlockedIPs[packet.MustAddr("5.6.7.8")] = true
+	if p.SNI1Domains.Contains("b.com") || p.IPBlocked(packet.MustAddr("5.6.7.8")) {
+		t.Fatal("clone aliases original")
+	}
+}
+
+func TestBlockTypeStrings(t *testing.T) {
+	names := map[BlockType]string{
+		SNI1: "SNI-I", SNI2: "SNI-II", SNI3: "SNI-III",
+		SNI4: "SNI-IV", QUICBlock: "QUIC", IPBlock: "IP",
+	}
+	for b, want := range names {
+		if b.String() != want {
+			t.Errorf("%d.String() = %q, want %q", b, b.String(), want)
+		}
+	}
+}

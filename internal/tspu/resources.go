@@ -1,0 +1,114 @@
+package tspu
+
+import (
+	"time"
+
+	"tspusim/internal/packet"
+)
+
+// Resource management. §8 closes on the observation that the TSPU trades
+// resistance to evasion for cheap, commodity hardware near users: it does
+// not reassemble TCP, and its ability to "patch" evasions depends on
+// whether it is "provisioned with enough computation and memory resources".
+// This file makes that trade-off concrete: a bounded flow table with FIFO
+// pressure eviction, and a periodic sweeper that reclaims expired state.
+// With a bound configured, a state-exhaustion flood can evict an active
+// blocking entry — turning the provisioning question into a measurable
+// evasion.
+
+// capacity bookkeeping lives on the conntrack.
+type capacityState struct {
+	maxFlows int
+	// fifo holds insertion order for pressure eviction; stale keys are
+	// skipped at pop time.
+	fifo []packet.FlowKey
+	// pressureEvictions counts entries evicted to make room.
+	pressureEvictions int
+}
+
+// SetMaxFlows bounds the device's flow table. Zero means unlimited (the
+// default, i.e. a well-provisioned device).
+func (d *Device) SetMaxFlows(n int) {
+	d.ct.cap.maxFlows = n
+}
+
+// PressureEvictions reports how many entries were evicted to make room.
+func (d *Device) PressureEvictions() int { return d.ct.cap.pressureEvictions }
+
+// noteInsert records a new entry and, if over capacity, evicts the oldest
+// live entry that is not the one just inserted. Insertion order is tracked
+// even while unbounded, so enabling a bound later still has candidates; the
+// loop always consumes one queued key per iteration (the just-inserted key
+// terminates it), so it cannot spin even when the table holds entries the
+// queue no longer covers.
+func (ct *conntrack) noteInsert(key packet.FlowKey) {
+	c := &ct.cap
+	c.fifo = append(c.fifo, key)
+	if c.maxFlows <= 0 {
+		return
+	}
+	for len(ct.table) > c.maxFlows && len(c.fifo) > 0 {
+		victim := c.fifo[0]
+		c.fifo = c.fifo[1:]
+		if victim == key {
+			// Never evict the entry being inserted; put it back and stop —
+			// everything older in the queue is already gone.
+			c.fifo = append(c.fifo, victim)
+			return
+		}
+		if _, live := ct.table[victim]; live {
+			delete(ct.table, victim)
+			c.pressureEvictions++
+		}
+	}
+}
+
+// Sweep removes expired entries immediately instead of waiting for lazy
+// eviction on next access; it returns the number reclaimed. Long scans
+// otherwise leave large tables of dead flows.
+func (ct *conntrack) Sweep(now time.Duration) int {
+	n := 0
+	for k, e := range ct.table {
+		if now >= e.expires {
+			delete(ct.table, k)
+			n++
+		}
+	}
+	ct.evictions += n
+	// Compact the insertion queue: drop keys whose entries are gone so it
+	// does not grow with total churn.
+	live := ct.cap.fifo[:0]
+	for _, k := range ct.cap.fifo {
+		if _, ok := ct.table[k]; ok {
+			live = append(live, k)
+		}
+	}
+	ct.cap.fifo = live
+	return n
+}
+
+// Sweep reclaims expired conntrack entries and fragment queues.
+func (d *Device) Sweep() int {
+	return d.ct.Sweep(d.now())
+}
+
+// EnableAutoSweep makes the device sweep at most once per interval,
+// piggybacked on packet handling — housekeeping rides the datapath rather
+// than pinning the event loop with a self-rescheduling timer (which would
+// keep the simulation alive forever).
+func (d *Device) EnableAutoSweep(interval time.Duration) {
+	if interval <= 0 {
+		interval = 30 * time.Second
+	}
+	d.sweepEvery = interval
+	d.lastSweep = d.now()
+}
+
+// maybeSweep runs from the datapath.
+func (d *Device) maybeSweep(now time.Duration) {
+	if d.sweepEvery <= 0 || now-d.lastSweep < d.sweepEvery {
+		return
+	}
+	d.lastSweep = now
+	d.ct.Sweep(now)
+}

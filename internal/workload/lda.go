@@ -1,0 +1,231 @@
+package workload
+
+import (
+	"math"
+	"sort"
+
+	"tspusim/internal/sim"
+)
+
+// LDA is a Latent Dirichlet Allocation topic model fit by collapsed Gibbs
+// sampling (Blei et al. [35]; the categorization pipeline of Ramesh et
+// al. [81] that §6.1 reuses). It clusters tokenized web pages into K topics;
+// a Categorizer then maps topics to the Fig. 7 categories via keyword
+// overlap.
+type LDA struct {
+	K     int
+	Alpha float64 // document-topic prior
+	Beta  float64 // topic-word prior
+
+	vocab   map[string]int
+	words   []string
+	docs    [][]int // token ids per document
+	assign  [][]int // topic assignment per token
+	nDocTop [][]int // document x topic counts
+	nTopWrd [][]int // topic x word counts
+	nTop    []int   // tokens per topic
+}
+
+// NewLDA creates a model with K topics and standard smoothing priors.
+func NewLDA(k int) *LDA {
+	return &LDA{K: k, Alpha: 50.0 / float64(k), Beta: 0.01, vocab: make(map[string]int)}
+}
+
+// Fit runs iters sweeps of collapsed Gibbs sampling over the tokenized
+// documents. Deterministic given rng.
+func (l *LDA) Fit(docs [][]string, iters int, rng *sim.Rand) {
+	r := rng.Fork("lda")
+	// Build vocabulary and integer docs.
+	l.docs = make([][]int, len(docs))
+	for di, doc := range docs {
+		ids := make([]int, len(doc))
+		for wi, w := range doc {
+			id, ok := l.vocab[w]
+			if !ok {
+				id = len(l.words)
+				l.vocab[w] = id
+				l.words = append(l.words, w)
+			}
+			ids[wi] = id
+		}
+		l.docs[di] = ids
+	}
+	V := len(l.words)
+	l.assign = make([][]int, len(l.docs))
+	l.nDocTop = make([][]int, len(l.docs))
+	l.nTopWrd = make([][]int, l.K)
+	l.nTop = make([]int, l.K)
+	for t := 0; t < l.K; t++ {
+		l.nTopWrd[t] = make([]int, V)
+	}
+	// Random initialization.
+	for di, doc := range l.docs {
+		l.assign[di] = make([]int, len(doc))
+		l.nDocTop[di] = make([]int, l.K)
+		for wi, w := range doc {
+			t := r.Intn(l.K)
+			l.assign[di][wi] = t
+			l.nDocTop[di][t]++
+			l.nTopWrd[t][w]++
+			l.nTop[t]++
+		}
+	}
+	probs := make([]float64, l.K)
+	for it := 0; it < iters; it++ {
+		for di, doc := range l.docs {
+			for wi, w := range doc {
+				old := l.assign[di][wi]
+				l.nDocTop[di][old]--
+				l.nTopWrd[old][w]--
+				l.nTop[old]--
+				// Full conditional.
+				sum := 0.0
+				for t := 0; t < l.K; t++ {
+					p := (float64(l.nDocTop[di][t]) + l.Alpha) *
+						(float64(l.nTopWrd[t][w]) + l.Beta) /
+						(float64(l.nTop[t]) + l.Beta*float64(V))
+					probs[t] = p
+					sum += p
+				}
+				u := r.Float64() * sum
+				next := 0
+				for acc := probs[0]; u > acc && next < l.K-1; {
+					next++
+					acc += probs[next]
+				}
+				l.assign[di][wi] = next
+				l.nDocTop[di][next]++
+				l.nTopWrd[next][w]++
+				l.nTop[next]++
+			}
+		}
+	}
+}
+
+// DocTopic returns the dominant topic of document di.
+func (l *LDA) DocTopic(di int) int {
+	best, bestN := 0, -1
+	for t, n := range l.nDocTop[di] {
+		if n > bestN {
+			best, bestN = t, n
+		}
+	}
+	return best
+}
+
+// TopWords returns the n highest-probability words of a topic.
+func (l *LDA) TopWords(topic, n int) []string {
+	type wc struct {
+		w string
+		c int
+	}
+	var all []wc
+	for wid, c := range l.nTopWrd[topic] {
+		if c > 0 {
+			all = append(all, wc{l.words[wid], c})
+		}
+	}
+	sort.Slice(all, func(i, j int) bool {
+		if all[i].c != all[j].c {
+			return all[i].c > all[j].c
+		}
+		return all[i].w < all[j].w
+	})
+	if n > len(all) {
+		n = len(all)
+	}
+	out := make([]string, n)
+	for i := 0; i < n; i++ {
+		out[i] = all[i].w
+	}
+	return out
+}
+
+// Categorizer labels LDA topics with Fig. 7 categories by keyword overlap —
+// the "manually merge the topics into 11 categories" step of §6.1, automated
+// against the known category vocabularies.
+type Categorizer struct {
+	lda       *LDA
+	topicCat  []Category
+	TopicHits []int // diagnostic: keyword hits for the chosen category
+}
+
+// NewCategorizer maps each topic of a fitted model to its best category.
+func NewCategorizer(l *LDA) *Categorizer {
+	c := &Categorizer{lda: l, topicCat: make([]Category, l.K), TopicHits: make([]int, l.K)}
+	for t := 0; t < l.K; t++ {
+		top := l.TopWords(t, 12)
+		bestCat, bestHits := CatErrorPage, 0
+		for cat, kws := range categoryKeywords {
+			hits := 0
+			kwset := make(map[string]bool, len(kws))
+			for _, k := range kws {
+				kwset[k] = true
+			}
+			for _, w := range top {
+				if kwset[w] {
+					hits++
+				}
+			}
+			if hits > bestHits || (hits == bestHits && hits > 0 && cat < bestCat) {
+				bestCat, bestHits = cat, hits
+			}
+		}
+		c.topicCat[t] = bestCat
+		c.TopicHits[t] = bestHits
+	}
+	return c
+}
+
+// Label returns the category of document di (CatErrorPage when the topic
+// matched no vocabulary, the analogue of unparseable/geoblocked pages).
+func (c *Categorizer) Label(di int) Category {
+	return c.topicCat[c.lda.DocTopic(di)]
+}
+
+// CategorizeDomains runs the full §6.1 pipeline: render HTML, tokenize, fit
+// LDA, label every domain. Returns predicted categories aligned with ds.
+func CategorizeDomains(rng *sim.Rand, ds []Domain, topics, iters int) []Category {
+	docs := make([][]string, len(ds))
+	for i, d := range ds {
+		docs[i] = Tokenize(HTMLFor(rng, d))
+	}
+	l := NewLDA(topics)
+	l.Fit(docs, iters, rng)
+	cat := NewCategorizer(l)
+	out := make([]Category, len(ds))
+	for i := range ds {
+		out[i] = cat.Label(i)
+	}
+	return out
+}
+
+// Perplexity computes the held-in perplexity of the fitted model — the
+// standard LDA quality metric (lower is better): exp(-sum log p(w|d) / N).
+// It lets experiments verify a fit converged rather than trusting iteration
+// counts.
+func (l *LDA) Perplexity() float64 {
+	V := len(l.words)
+	var logSum float64
+	var n int
+	for di, doc := range l.docs {
+		docLen := len(doc)
+		if docLen == 0 {
+			continue
+		}
+		for _, w := range doc {
+			var p float64
+			for t := 0; t < l.K; t++ {
+				theta := (float64(l.nDocTop[di][t]) + l.Alpha) / (float64(docLen) + l.Alpha*float64(l.K))
+				phi := (float64(l.nTopWrd[t][w]) + l.Beta) / (float64(l.nTop[t]) + l.Beta*float64(V))
+				p += theta * phi
+			}
+			logSum += math.Log(p)
+			n++
+		}
+	}
+	if n == 0 {
+		return 0
+	}
+	return math.Exp(-logSum / float64(n))
+}
