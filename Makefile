@@ -1,0 +1,33 @@
+# Tier-1 verification plus the race detector: the fleet orchestrator is the
+# repo's first concurrent code path, so -race is load-bearing, not optional.
+
+GO ?= go
+
+.PHONY: all check vet build test race bench fleet-smoke
+
+all: check
+
+check: vet build test race
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -run '^$$' -bench . -benchmem ./...
+
+# A fast end-to-end determinism check: the aggregate report must be
+# byte-identical for any -workers value.
+fleet-smoke:
+	$(GO) build -o /tmp/tspu-lab ./cmd/tspu-lab
+	/tmp/tspu-lab -exp table2,fig12 -seeds 3 -workers 1 -endpoints 200 -ases 12 -echo 50 -tranco 200 -registry 200 > /tmp/fleet-w1.txt
+	/tmp/tspu-lab -exp table2,fig12 -seeds 3 -workers 8 -endpoints 200 -ases 12 -echo 50 -tranco 200 -registry 200 > /tmp/fleet-w8.txt
+	diff /tmp/fleet-w1.txt /tmp/fleet-w8.txt && echo "fleet deterministic"

@@ -14,6 +14,7 @@ import (
 	"testing"
 	"time"
 
+	"tspusim/internal/fleet"
 	"tspusim/internal/hostnet"
 	"tspusim/internal/measure"
 	"tspusim/internal/netem"
@@ -336,6 +337,48 @@ func BenchmarkAblation_InspectDepth(b *testing.B) {
 				evaded = 1.0
 			}
 			b.ReportMetric(evaded, "padding-evades")
+		})
+	}
+}
+
+// --- Fleet orchestration ------------------------------------------------
+
+// BenchmarkFleet_AllExperiments fans the full experiment registry across the
+// worker pool, one whole-simulation job per experiment. The workers=1 case
+// is the sequential baseline; on an 8-core runner workers=8 should finish
+// the sweep ≥3× faster (jobs are independent CPU-bound simulations). The
+// internal speedup estimate (summed job time / elapsed) is reported as a
+// benchmark metric so the perf trajectory tracks parallel efficiency too.
+func BenchmarkFleet_AllExperiments(b *testing.B) {
+	for _, workers := range []int{1, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			speedup := 0.0
+			for i := 0; i < b.N; i++ {
+				opts := benchOpts(uint64(i + 1))
+				rep := RunFleet(opts, IDs(), 1, 1, fleet.Config{Workers: workers})
+				if n := len(rep.Failed()); n > 0 {
+					b.Fatalf("%d jobs failed: %v", n, rep.Failed()[0].Err)
+				}
+				speedup += rep.Metrics.Speedup()
+			}
+			b.ReportMetric(speedup/float64(b.N), "speedup")
+		})
+	}
+}
+
+// BenchmarkFleet_MultiSeedTable1 is the paper-scale axis: Table 1's failure
+// rates across many derived seeds (20 seeds × 2,000 trials ≈ the paper's
+// 20,000-trial estimates) — the workload -seeds/-workers exist for.
+func BenchmarkFleet_MultiSeedTable1(b *testing.B) {
+	for _, workers := range []int{1, 8} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				opts := benchOpts(uint64(i + 1))
+				rep := RunFleet(opts, []string{"table1"}, 8, 1, fleet.Config{Workers: workers})
+				if len(rep.Failed()) > 0 {
+					b.Fatal(rep.Failed()[0].Err)
+				}
+			}
 		})
 	}
 }

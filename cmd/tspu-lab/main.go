@@ -5,6 +5,12 @@
 //	tspu-lab -list
 //	tspu-lab -exp table1,fig4
 //	tspu-lab -exp all -seed 7 -endpoints 4000 -ases 160
+//
+// Multi-seed fleet runs fan (experiment, seed, shard) jobs across workers
+// and aggregate the per-seed statistics; the aggregate report is
+// byte-identical for any -workers value:
+//
+//	tspu-lab -exp table1 -seeds 20 -workers 8
 package main
 
 import (
@@ -12,8 +18,10 @@ import (
 	"fmt"
 	"os"
 	"strings"
+	"time"
 
 	"tspusim"
+	"tspusim/internal/fleet"
 	"tspusim/internal/hostnet"
 	"tspusim/internal/netem"
 	"tspusim/internal/tlsx"
@@ -32,6 +40,10 @@ func main() {
 		registry  = flag.Int("registry", 2000, "registry sample size (paper: 10,000)")
 		pcapPath  = flag.String("pcap", "", "write a Fig. 2-style SNI-I blocking capture to this .pcap file and exit")
 		outDir    = flag.String("out", "", "also write each experiment's output to <dir>/<id>.txt")
+		workers   = flag.Int("workers", 0, "fleet worker goroutines (0 = sequential legacy path)")
+		seeds     = flag.Int("seeds", 1, "replicas per experiment, each on a derived seed")
+		shards    = flag.Int("shards", 1, "split the endpoint population across this many shards per replica")
+		timeout   = flag.Duration("timeout", 0, "per-job timeout for fleet runs (0 = none)")
 	)
 	flag.Parse()
 
@@ -69,36 +81,119 @@ func main() {
 		RegistryN: *registry,
 	}
 
-	failed := false
+	var clean []string
 	for _, id := range ids {
 		id = strings.TrimSpace(id)
-		if id == "" {
-			continue
+		if id != "" {
+			clean = append(clean, id)
 		}
+	}
+
+	if *workers > 0 || *seeds > 1 || *shards > 1 {
+		if runFleet(clean, opts, *seeds, *shards, *workers, *timeout, *outDir) {
+			os.Exit(1)
+		}
+		return
+	}
+
+	var okIDs, failedIDs []string
+	for _, id := range clean {
 		lab := tspusim.NewLab(opts)
 		out, err := tspusim.Run(lab, id)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "error:", err)
-			failed = true
+			failedIDs = append(failedIDs, id)
 			continue
 		}
 		fmt.Println(out)
+		ok := true
 		if *outDir != "" {
-			if err := os.MkdirAll(*outDir, 0o755); err != nil {
+			if err := writeOut(*outDir, id+".txt", out); err != nil {
 				fmt.Fprintln(os.Stderr, "out:", err)
-				failed = true
+				ok = false
+			}
+		}
+		if ok {
+			okIDs = append(okIDs, id)
+		} else {
+			failedIDs = append(failedIDs, id)
+		}
+	}
+	fmt.Print(summaryLine(len(okIDs), failedIDs))
+	if len(failedIDs) > 0 {
+		os.Exit(1)
+	}
+}
+
+// runFleet drives the parallel multi-seed path and reports whether any job
+// failed. The aggregate report goes to stdout; progress and timing metrics
+// go to stderr so stdout stays byte-identical across worker counts.
+func runFleet(ids []string, opts tspusim.Options, seeds, shards, workers int, timeout time.Duration, outDir string) bool {
+	cfg := fleet.Config{
+		Workers: workers,
+		Timeout: timeout,
+		Retries: 1,
+		Backoff: 100 * time.Millisecond,
+	}
+	total := len(ids) * seeds * shards
+	if stderrIsTerminal() {
+		cfg.OnUpdate = func(s fleet.Snapshot) {
+			fmt.Fprintf(os.Stderr, "\rfleet: %d/%d done, %d running, %d failed   ", s.Done, total, s.Running, s.Failed)
+		}
+	}
+	rep := tspusim.RunFleet(opts, ids, seeds, shards, cfg)
+	if cfg.OnUpdate != nil {
+		fmt.Fprintln(os.Stderr)
+	}
+	fmt.Print(rep.RenderAggregate())
+	fmt.Fprintln(os.Stderr, rep.Metrics.String())
+	for _, res := range rep.Failed() {
+		if pe, ok := res.Err.(*fleet.PanicError); ok {
+			fmt.Fprintf(os.Stderr, "--- stack for %s ---\n%s", res.Job.Label(), pe.Stack)
+		}
+	}
+	failed := len(rep.Failed()) > 0
+	if outDir != "" {
+		for _, res := range rep.Results {
+			if res.Failed() {
 				continue
 			}
-			path := fmt.Sprintf("%s/%s.txt", *outDir, id)
-			if err := os.WriteFile(path, []byte(out+"\n"), 0o644); err != nil {
+			name := fmt.Sprintf("%s.seed%d.shard%d.txt", res.Job.Exp, res.Job.SeedIndex, res.Job.Shard)
+			if err := writeOut(outDir, name, res.Output); err != nil {
 				fmt.Fprintln(os.Stderr, "out:", err)
 				failed = true
 			}
 		}
+		if err := writeOut(outDir, "aggregate.txt", rep.RenderAggregate()); err != nil {
+			fmt.Fprintln(os.Stderr, "out:", err)
+			failed = true
+		}
 	}
-	if failed {
-		os.Exit(1)
+	return failed
+}
+
+// summaryLine renders the batch diagnosability footer: "N ok, M failed: ids".
+func summaryLine(ok int, failedIDs []string) string {
+	s := fmt.Sprintf("%d ok, %d failed", ok, len(failedIDs))
+	if len(failedIDs) > 0 {
+		s += ": " + strings.Join(failedIDs, ", ")
 	}
+	return s + "\n"
+}
+
+func writeOut(dir, name, content string) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	if !strings.HasSuffix(content, "\n") {
+		content += "\n"
+	}
+	return os.WriteFile(dir+"/"+name, []byte(content), 0o644)
+}
+
+func stderrIsTerminal() bool {
+	fi, err := os.Stderr.Stat()
+	return err == nil && fi.Mode()&os.ModeCharDevice != 0
 }
 
 // writeBlockingPCAP captures an SNI-I blocking exchange on the vantage's

@@ -1,0 +1,49 @@
+package tspusim
+
+// Fleet glue: fan the experiment registry out across (experiment, seed,
+// shard) jobs. Each job builds a private lab from a derived seed, so the
+// single-threaded Sim stays untouched and parallelism lives strictly at
+// whole-simulation granularity — which is what keeps determinism trivial:
+// the aggregate report is byte-identical for any worker count.
+
+import (
+	"fmt"
+
+	"tspusim/internal/fleet"
+)
+
+// JobRunner returns the fleet RunFunc that builds a per-job lab from base
+// options (with the job's derived seed, and the endpoint population split
+// across shards) and executes the job's experiment on it.
+func JobRunner(base Options) fleet.RunFunc {
+	return func(job fleet.Job) (string, []fleet.Stat, error) {
+		e, ok := Find(job.Exp)
+		if !ok {
+			return "", nil, fmt.Errorf("tspusim: unknown experiment %q", job.Exp)
+		}
+		opts := base
+		opts.Seed = job.Seed
+		if job.Shards > 1 && opts.Endpoints > 0 {
+			opts.Endpoints /= job.Shards
+			if opts.Endpoints < 1 {
+				opts.Endpoints = 1
+			}
+		}
+		lab := NewLab(opts)
+		if e.Stats != nil {
+			out, stats := e.Stats(lab)
+			return e.Header() + "\n" + out, stats, nil
+		}
+		out := e.Run(lab)
+		return e.Header() + "\n" + out, fleet.ExtractStats(out), nil
+	}
+}
+
+// RunFleet plans and executes ids × seeds × shards jobs over the worker pool
+// configured by cfg. base.Seed is the root seed every job seed is derived
+// from; the returned report's RenderAggregate is identical for any
+// cfg.Workers value.
+func RunFleet(base Options, ids []string, seeds, shards int, cfg fleet.Config) *fleet.Report {
+	jobs := fleet.Plan(base.Seed, ids, seeds, shards)
+	return fleet.NewRunner(cfg).Run(jobs, JobRunner(base))
+}

@@ -1,0 +1,106 @@
+package tspusim
+
+import (
+	"strings"
+	"testing"
+
+	"tspusim/internal/fleet"
+)
+
+func fleetTestOpts() Options {
+	return Options{Seed: 5, Endpoints: 120, ASes: 8, EchoServers: 30, TrancoN: 120, RegistryN: 120}
+}
+
+// TestFleetDeterministicAcrossWorkers is the golden determinism check: real
+// experiments fanned across 1 worker and 8 workers must render byte-identical
+// aggregate reports for the same root seed.
+func TestFleetDeterministicAcrossWorkers(t *testing.T) {
+	ids := []string{"table2", "table7", "fig12", "usval"}
+	r1 := RunFleet(fleetTestOpts(), ids, 3, 1, fleet.Config{Workers: 1})
+	r8 := RunFleet(fleetTestOpts(), ids, 3, 1, fleet.Config{Workers: 8})
+	if len(r1.Failed()) != 0 {
+		t.Fatalf("sequential fleet had failures: %v", r1.Failed()[0].Err)
+	}
+	a, b := r1.RenderAggregate(), r8.RenderAggregate()
+	if a != b {
+		t.Fatalf("aggregate report differs between -workers 1 and -workers 8:\n--- w1 ---\n%s\n--- w8 ---\n%s", a, b)
+	}
+	if !strings.Contains(a, "12 ok, 0 failed") {
+		t.Fatalf("unexpected summary:\n%s", a)
+	}
+}
+
+// TestFleetUnknownExperimentFails: a job naming a missing experiment is
+// reported as failed while the valid jobs complete.
+func TestFleetUnknownExperimentFails(t *testing.T) {
+	rep := RunFleet(fleetTestOpts(), []string{"table7", "nope"}, 2, 1, fleet.Config{Workers: 4})
+	failed := rep.Failed()
+	if len(failed) != 2 {
+		t.Fatalf("want both nope jobs failed, got %d failures", len(failed))
+	}
+	for _, res := range failed {
+		if res.Job.Exp != "nope" {
+			t.Fatalf("valid job failed: %s: %v", res.Job.Label(), res.Err)
+		}
+	}
+	agg := rep.RenderAggregate()
+	if !strings.Contains(agg, "2 ok, 2 failed: nope/seed=0/shard=0, nope/seed=1/shard=0") {
+		t.Fatalf("aggregate summary wrong:\n%s", agg)
+	}
+}
+
+// TestFleetPanicIsolationWithRealJobs injects a panic into one job of a real
+// experiment sweep and checks the fleet survives with the rest intact.
+func TestFleetPanicIsolationWithRealJobs(t *testing.T) {
+	base := fleetTestOpts()
+	jobs := fleet.Plan(base.Seed, []string{"table7", "fig12"}, 2, 1)
+	inner := JobRunner(base)
+	run := func(job fleet.Job) (string, []fleet.Stat, error) {
+		if job.Exp == "fig12" && job.SeedIndex == 1 {
+			panic("injected shard failure")
+		}
+		return inner(job)
+	}
+	rep := fleet.NewRunner(fleet.Config{Workers: 4}).Run(jobs, run)
+	failed := rep.Failed()
+	if len(failed) != 1 || failed[0].Job.Label() != "fig12/seed=1/shard=0" {
+		t.Fatalf("want exactly the injected job failed, got %+v", failed)
+	}
+	if !strings.Contains(rep.RenderAggregate(), "3 ok, 1 failed") {
+		t.Fatalf("aggregate summary wrong:\n%s", rep.RenderAggregate())
+	}
+}
+
+// TestFleetShardsSplitPopulation: sharding divides the endpoint population
+// and still renders deterministically.
+func TestFleetShardsSplitPopulation(t *testing.T) {
+	base := fleetTestOpts()
+	a := RunFleet(base, []string{"fig12"}, 1, 2, fleet.Config{Workers: 1})
+	b := RunFleet(base, []string{"fig12"}, 1, 2, fleet.Config{Workers: 2})
+	if len(a.Failed()) != 0 {
+		t.Fatalf("sharded run failed: %v", a.Failed()[0].Err)
+	}
+	if a.RenderAggregate() != b.RenderAggregate() {
+		t.Fatal("sharded aggregate differs across worker counts")
+	}
+}
+
+// TestExperimentStatsHook: experiments with a Stats hook (table1) emit
+// ordered labelled stats matching the table layout.
+func TestExperimentStatsHook(t *testing.T) {
+	e, ok := Find("table1")
+	if !ok || e.Stats == nil {
+		t.Fatal("table1 must expose a Stats hook")
+	}
+	lab := NewLab(Options{Seed: 2, Endpoints: 60, ASes: 4, EchoServers: 20, TrancoN: 60, RegistryN: 60})
+	out, stats := e.Stats(lab)
+	if len(stats) != 15 {
+		t.Fatalf("table1 stats has %d cells, want 15 (3 vantages x 5 types)", len(stats))
+	}
+	if stats[0].Key != "rostelecom/SNI-I fail%" {
+		t.Fatalf("first stat key %q", stats[0].Key)
+	}
+	if !strings.Contains(out, "Table 1") {
+		t.Fatalf("Stats output missing artifact:\n%s", out)
+	}
+}

@@ -1,0 +1,190 @@
+package fleet
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"tspusim/internal/report"
+)
+
+// Report is the completed output of a fleet run: every job's result in plan
+// order plus the closing metrics snapshot.
+type Report struct {
+	Results []JobResult
+	Metrics Snapshot
+}
+
+// Failed returns the results of jobs that ended in error, in plan order.
+func (r *Report) Failed() []JobResult {
+	var out []JobResult
+	for _, res := range r.Results {
+		if res.Failed() {
+			out = append(out, res)
+		}
+	}
+	return out
+}
+
+// keyAgg accumulates one stat key's samples with Welford's algorithm, which
+// is numerically stable and — because samples arrive in plan order — yields
+// bit-identical moments regardless of worker count.
+type keyAgg struct {
+	key      string
+	n        int
+	mean, m2 float64
+	min, max float64
+}
+
+func (a *keyAgg) add(v float64) {
+	a.n++
+	if a.n == 1 {
+		a.min, a.max = v, v
+	} else {
+		if v < a.min {
+			a.min = v
+		}
+		if v > a.max {
+			a.max = v
+		}
+	}
+	d := v - a.mean
+	a.mean += d / float64(a.n)
+	a.m2 += d * (v - a.mean)
+}
+
+// stddev is the sample standard deviation (n-1), 0 for fewer than 2 samples.
+func (a *keyAgg) stddev() float64 {
+	if a.n < 2 {
+		return 0
+	}
+	return math.Sqrt(a.m2 / float64(a.n-1))
+}
+
+// expGroup is one experiment's slice of the report.
+type expGroup struct {
+	exp     string
+	results []JobResult
+}
+
+// groups splits results by experiment, preserving plan order.
+func (r *Report) groups() []expGroup {
+	byExp := map[string]int{}
+	var out []expGroup
+	for _, res := range r.Results {
+		i, ok := byExp[res.Job.Exp]
+		if !ok {
+			i = len(out)
+			byExp[res.Job.Exp] = i
+			out = append(out, expGroup{exp: res.Job.Exp})
+		}
+		out[i].results = append(out[i].results, res)
+	}
+	return out
+}
+
+// RenderAggregate renders the deterministic fleet report: per-experiment
+// pass/fail, per-key mean/stddev/min/max tables across seeds and shards, and
+// a closing summary line. The output is a pure function of the job results
+// in plan order — wall times, attempt counts, and stacks are excluded — so a
+// sequential run and a 16-worker run render byte-identically.
+func (r *Report) RenderAggregate() string {
+	var b strings.Builder
+	groups := r.groups()
+	seeds, shards := 1, 1
+	for _, res := range r.Results {
+		if res.Job.SeedIndex+1 > seeds {
+			seeds = res.Job.SeedIndex + 1
+		}
+		if res.Job.Shard+1 > shards {
+			shards = res.Job.Shard + 1
+		}
+	}
+	fmt.Fprintf(&b, "== fleet aggregate: %d jobs (%d experiments x %d seeds x %d shards) ==\n",
+		len(r.Results), len(groups), seeds, shards)
+
+	okN, failedN := 0, 0
+	var failedLabels []string
+	for _, g := range groups {
+		var ok []JobResult
+		var failed []JobResult
+		for _, res := range g.results {
+			if res.Failed() {
+				failed = append(failed, res)
+			} else {
+				ok = append(ok, res)
+			}
+		}
+		okN += len(ok)
+		failedN += len(failed)
+
+		fmt.Fprintf(&b, "\n### %s — %d/%d jobs ok\n", g.exp, len(ok), len(g.results))
+		for _, res := range failed {
+			failedLabels = append(failedLabels, res.Job.Label())
+			fmt.Fprintf(&b, "FAILED %s: %v\n", res.Job.Label(), res.Err)
+		}
+		if len(ok) == 0 {
+			continue
+		}
+		identical := true
+		for _, res := range ok[1:] {
+			if res.Output != ok[0].Output {
+				identical = false
+				break
+			}
+		}
+		if identical {
+			// A single replica has no spread to summarize, and seed-invariant
+			// artifacts (reference tables, exactly-recovered timeouts) have
+			// none either: include the artifact itself once.
+			if len(ok) > 1 {
+				fmt.Fprintf(&b, "all %d replicas rendered identically:\n", len(ok))
+			}
+			b.WriteString(ok[0].Output)
+			if !strings.HasSuffix(ok[0].Output, "\n") {
+				b.WriteByte('\n')
+			}
+			continue
+		}
+		if t := aggregateStats(g.exp, ok); t.NumRows() > 0 {
+			b.WriteString(t.String())
+		} else {
+			fmt.Fprintf(&b, "outputs differ across %d replicas but expose no numeric stats\n", len(ok))
+		}
+	}
+
+	fmt.Fprintf(&b, "\n%d ok, %d failed", okN, failedN)
+	if failedN > 0 {
+		fmt.Fprintf(&b, ": %s", strings.Join(failedLabels, ", "))
+	}
+	b.WriteByte('\n')
+	return b.String()
+}
+
+// aggregateStats merges the ordered stats of one experiment's successful
+// jobs into a summary table. Keys keep first-seen order (all replicas emit
+// the same sequence when the artifact's structure is seed-stable); keys that
+// appear in only some replicas show n < replicas.
+func aggregateStats(exp string, ok []JobResult) *report.Table {
+	index := map[string]int{}
+	var aggs []*keyAgg
+	for _, res := range ok {
+		for _, st := range res.Stats {
+			i, seen := index[st.Key]
+			if !seen {
+				i = len(aggs)
+				index[st.Key] = i
+				aggs = append(aggs, &keyAgg{key: st.Key})
+			}
+			aggs[i].add(st.Value)
+		}
+	}
+	t := report.NewTable(fmt.Sprintf("%s across %d replicas", exp, len(ok)),
+		"stat", "n", "mean", "stddev", "min", "max")
+	for _, a := range aggs {
+		t.AddRow(a.key, a.n,
+			fmt.Sprintf("%.6g", a.mean), fmt.Sprintf("%.6g", a.stddev()),
+			fmt.Sprintf("%.6g", a.min), fmt.Sprintf("%.6g", a.max))
+	}
+	return t
+}

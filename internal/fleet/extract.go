@@ -1,0 +1,75 @@
+package fleet
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// ExtractStats pulls labelled numeric values out of a rendered artifact so
+// experiments without a dedicated stats hook can still be aggregated across
+// seeds. Each line contributes its numeric tokens keyed by the line's
+// leading label text; repeated labels get a #n occurrence suffix and
+// multi-number lines a [i] column suffix. The extraction is lossy by design:
+// it only has to be deterministic and stable across seeds, not complete.
+func ExtractStats(text string) []Stat {
+	var stats []Stat
+	seen := map[string]int{}
+	for _, line := range strings.Split(text, "\n") {
+		trimmed := strings.TrimSpace(line)
+		// Titles and headers carry numerals that are names, not samples.
+		if strings.HasPrefix(trimmed, "==") || strings.HasPrefix(trimmed, "###") {
+			continue
+		}
+		var label []string
+		var nums []float64
+		for _, f := range strings.Fields(trimmed) {
+			if v, ok := parseNum(f); ok {
+				nums = append(nums, v)
+			} else if len(nums) == 0 && !isRule(f) {
+				label = append(label, f)
+			}
+		}
+		if len(nums) == 0 {
+			continue
+		}
+		key := strings.Join(label, " ")
+		if key == "" {
+			key = "(line)"
+		}
+		seen[key]++
+		if n := seen[key]; n > 1 {
+			key = fmt.Sprintf("%s#%d", key, n)
+		}
+		for i, v := range nums {
+			k := key
+			if len(nums) > 1 {
+				k = fmt.Sprintf("%s[%d]", key, i)
+			}
+			stats = append(stats, Stat{Key: k, Value: v})
+		}
+	}
+	return stats
+}
+
+// parseNum accepts table cells like "0.15%", "(42)", "1,302", "12.3":
+// strip decoration, require the remainder to parse fully as a float.
+func parseNum(tok string) (float64, bool) {
+	tok = strings.Trim(tok, "()[]{},;:")
+	tok = strings.TrimSuffix(tok, "%")
+	tok = strings.ReplaceAll(tok, ",", "")
+	if tok == "" {
+		return 0, false
+	}
+	v, err := strconv.ParseFloat(tok, 64)
+	if err != nil {
+		return 0, false
+	}
+	return v, true
+}
+
+// isRule reports separator/bar tokens ("----", "####", "|") that would
+// otherwise pollute line labels.
+func isRule(tok string) bool {
+	return strings.Trim(tok, "-#=|_") == ""
+}

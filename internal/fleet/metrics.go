@@ -1,0 +1,95 @@
+package fleet
+
+import (
+	"fmt"
+	"sync"
+	"time"
+)
+
+// Snapshot is a point-in-time view of fleet progress. Everything here is
+// diagnostic: wall times and speedups vary run to run, so snapshots are
+// rendered separately from the deterministic aggregate report.
+type Snapshot struct {
+	Queued  int // jobs planned for this run
+	Running int // jobs currently executing
+	Done    int // jobs finished, ok or failed
+	Failed  int // jobs that ended in error after retries
+	Retried int // retry attempts consumed across all jobs
+
+	// JobWall is summed per-job wall time — the sequential-equivalent cost.
+	JobWall time.Duration
+	// Elapsed is real wall time since the run began.
+	Elapsed time.Duration
+}
+
+// Speedup estimates parallel speedup: summed job time over elapsed time. A
+// sequential run reports ~1.0. When workers oversubscribe physical cores,
+// per-job wall time includes runnable-but-descheduled time, so this is an
+// upper bound; it is accurate when workers ≤ cores.
+func (s Snapshot) Speedup() float64 {
+	if s.Elapsed <= 0 {
+		return 1
+	}
+	return float64(s.JobWall) / float64(s.Elapsed)
+}
+
+// String renders a one-line progress/summary string.
+func (s Snapshot) String() string {
+	return fmt.Sprintf("fleet: %d/%d done, %d running, %d failed, %d retried | job-time %.2fs, elapsed %.2fs, speedup %.2fx",
+		s.Done, s.Queued, s.Running, s.Failed, s.Retried,
+		s.JobWall.Seconds(), s.Elapsed.Seconds(), s.Speedup())
+}
+
+// metrics is the runner's internal mutex-guarded counter set.
+type metrics struct {
+	mu       sync.Mutex
+	start    time.Time
+	snap     Snapshot
+	onUpdate func(Snapshot)
+}
+
+func (m *metrics) begin(queued int) {
+	m.mu.Lock()
+	m.start = time.Now()
+	m.snap = Snapshot{Queued: queued}
+	m.mu.Unlock()
+}
+
+func (m *metrics) jobStarted() {
+	m.update(func(s *Snapshot) { s.Running++ })
+}
+
+func (m *metrics) jobRetried() {
+	m.update(func(s *Snapshot) { s.Retried++ })
+}
+
+func (m *metrics) jobDone(wall time.Duration, failed bool) {
+	m.update(func(s *Snapshot) {
+		s.Running--
+		s.Done++
+		s.JobWall += wall
+		if failed {
+			s.Failed++
+		}
+	})
+}
+
+func (m *metrics) update(f func(*Snapshot)) {
+	m.mu.Lock()
+	f(&m.snap)
+	snap := m.snap
+	snap.Elapsed = time.Since(m.start)
+	cb := m.onUpdate
+	m.mu.Unlock()
+	if cb != nil {
+		cb(snap)
+	}
+}
+
+func (m *metrics) snapshot() Snapshot {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	snap := m.snap
+	snap.Elapsed = time.Since(m.start)
+	return snap
+}

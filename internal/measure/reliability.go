@@ -24,6 +24,12 @@ type ReliabilityResult struct {
 // paper's own footnote).
 var ReliabilityTypes = []tspu.BlockType{tspu.SNI1, tspu.SNI2, tspu.SNI4, tspu.QUICBlock, tspu.IPBlock}
 
+// ReliabilityCols names Table 1's columns, aligned with ReliabilityTypes.
+var ReliabilityCols = []string{"SNI-I", "SNI-II", "SNI-IV", "QUIC", "IP-Based"}
+
+// Vantages orders Table 1's rows (and every per-vantage artifact).
+var Vantages = []string{topo.Rostelecom, topo.ERTelecom, topo.OBIT}
+
 // Reliability measures Table 1 with the given number of trials per cell
 // (paper: 20,000).
 func Reliability(lab *topo.Lab, trials int) *ReliabilityResult {
@@ -121,8 +127,8 @@ func trialBlocked(lab *topo.Lab, v *topo.Vantage, typ tspu.BlockType, us2 *hostn
 // Render prints Table 1.
 func (r *ReliabilityResult) Render() string {
 	t := report.NewTable(fmt.Sprintf("Table 1: TSPU trigger failure rates (%d trials/cell)", r.Trials),
-		"Vantage", "SNI-I", "SNI-II", "SNI-IV", "QUIC", "IP-Based")
-	for _, name := range []string{topo.Rostelecom, topo.ERTelecom, topo.OBIT} {
+		append([]string{"Vantage"}, ReliabilityCols...)...)
+	for _, name := range Vantages {
 		row := []any{name}
 		for _, typ := range ReliabilityTypes {
 			row = append(row, fmt.Sprintf("%.4f%%", 100*r.Failures[name][typ]))

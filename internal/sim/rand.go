@@ -38,6 +38,29 @@ func (r *Rand) Fork(name string) *Rand {
 	return NewRand(r.Uint64() ^ h)
 }
 
+// StreamSeed derives a labelled child seed as a pure function of
+// (base, label). Unlike Fork it consumes no generator state, so derivation
+// order, interleaving, and concurrency cannot perturb sibling streams: the
+// fleet orchestrator relies on this to hand every (experiment, seed, shard)
+// job an identical seed regardless of worker count or completion order.
+func StreamSeed(base uint64, label string) uint64 {
+	h := uint64(14695981039346656037) // FNV-1a offset basis
+	for i := 0; i < len(label); i++ {
+		h ^= uint64(label[i])
+		h *= 1099511628211
+	}
+	// Two splitmix64 finalizer rounds decorrelate (base, label) pairs that
+	// differ in only a few bits, mirroring NewRand's seeding discipline.
+	z := base ^ h
+	for i := 0; i < 2; i++ {
+		z += 0x9e3779b97f4a7c15
+		z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+		z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+		z ^= z >> 31
+	}
+	return z
+}
+
 func rotl(x uint64, k uint) uint64 { return (x << k) | (x >> (64 - k)) }
 
 // Uint64 returns the next 64 random bits.

@@ -26,6 +26,7 @@ import (
 
 	"tspusim/internal/circumvent"
 	"tspusim/internal/evolve"
+	"tspusim/internal/fleet"
 	"tspusim/internal/ispdpi"
 	"tspusim/internal/measure"
 	"tspusim/internal/report"
@@ -51,6 +52,11 @@ type Experiment struct {
 	// Run executes against a fresh or reused lab and returns the rendered
 	// artifact.
 	Run func(lab *Lab) string
+	// Stats, when non-nil, runs the experiment once and additionally
+	// returns ordered summary statistics for multi-seed fleet aggregation.
+	// Experiments without one are aggregated from numbers extracted out of
+	// their rendered text (fleet.ExtractStats).
+	Stats func(lab *Lab) (string, []fleet.Stat)
 }
 
 // Experiments returns the full per-experiment index of DESIGN.md, keyed and
@@ -61,6 +67,19 @@ func Experiments() []Experiment {
 			ID: "table1", Title: "TSPU trigger failure rates", Paper: "Table 1",
 			Run: func(lab *Lab) string {
 				return measure.Reliability(lab, 2000).Render()
+			},
+			Stats: func(lab *Lab) (string, []fleet.Stat) {
+				res := measure.Reliability(lab, 2000)
+				var stats []fleet.Stat
+				for _, v := range measure.Vantages {
+					for i, typ := range measure.ReliabilityTypes {
+						stats = append(stats, fleet.Stat{
+							Key:   v + "/" + measure.ReliabilityCols[i] + " fail%",
+							Value: 100 * res.Failures[v][typ],
+						})
+					}
+				}
+				return res.Render(), stats
 			},
 		},
 		{
@@ -283,16 +302,30 @@ func Experiments() []Experiment {
 	return exps
 }
 
-// Run executes the experiment with the given ID on lab.
-func Run(lab *Lab, id string) (string, error) {
+// Find returns the experiment with the given ID.
+func Find(id string) (Experiment, bool) {
 	for _, e := range Experiments() {
 		if e.ID == id {
-			start := time.Now()
-			out := e.Run(lab)
-			return fmt.Sprintf("### %s — %s (%s) [%.2fs]\n%s", e.ID, e.Title, e.Paper, time.Since(start).Seconds(), out), nil
+			return e, true
 		}
 	}
-	return "", fmt.Errorf("tspusim: unknown experiment %q (use IDs from Experiments)", id)
+	return Experiment{}, false
+}
+
+// Header renders the experiment's deterministic banner line (no timing).
+func (e Experiment) Header() string {
+	return fmt.Sprintf("### %s — %s (%s)", e.ID, e.Title, e.Paper)
+}
+
+// Run executes the experiment with the given ID on lab.
+func Run(lab *Lab, id string) (string, error) {
+	e, ok := Find(id)
+	if !ok {
+		return "", fmt.Errorf("tspusim: unknown experiment %q (use IDs from Experiments)", id)
+	}
+	start := time.Now()
+	out := e.Run(lab)
+	return fmt.Sprintf("%s [%.2fs]\n%s", e.Header(), time.Since(start).Seconds(), out), nil
 }
 
 // IDs returns every experiment ID.
