@@ -1,16 +1,25 @@
-# Tier-1 verification plus the race detector: the fleet orchestrator is the
-# repo's first concurrent code path, so -race is load-bearing, not optional.
+# Tier-1 verification plus the race detector and the determinism linter: the
+# fleet orchestrator is the repo's first concurrent code path, so -race is
+# load-bearing, and every experiment's byte-reproducibility claim rests on
+# tspu-vet holding the line (see internal/lint).
 
 GO ?= go
 
-.PHONY: all check vet build test race bench fleet-smoke
+.PHONY: all check vet lint build test race bench fleet-smoke fuzz-smoke
 
 all: check
 
-check: vet build test race
+check: vet lint build test race
 
 vet:
 	$(GO) vet ./...
+
+# tspu-vet enforces the determinism contract: no wall clock, no ambient
+# randomness, no map-order-dependent output. Exceptions need a reasoned
+# //tspuvet:allow directive, and unused directives fail the build.
+lint:
+	$(GO) build -o /tmp/tspu-vet ./cmd/tspu-vet
+	/tmp/tspu-vet ./...
 
 build:
 	$(GO) build ./...
@@ -25,9 +34,21 @@ bench:
 	$(GO) test -run '^$$' -bench . -benchmem ./...
 
 # A fast end-to-end determinism check: the aggregate report must be
-# byte-identical for any -workers value.
+# byte-identical for any -workers value, and — now that per-experiment
+# timing lives on stderr instead of inside the artifact — the sequential
+# path must be byte-identical across two independent runs too.
 fleet-smoke:
 	$(GO) build -o /tmp/tspu-lab ./cmd/tspu-lab
 	/tmp/tspu-lab -exp table2,fig12 -seeds 3 -workers 1 -endpoints 200 -ases 12 -echo 50 -tranco 200 -registry 200 > /tmp/fleet-w1.txt
 	/tmp/tspu-lab -exp table2,fig12 -seeds 3 -workers 8 -endpoints 200 -ases 12 -echo 50 -tranco 200 -registry 200 > /tmp/fleet-w8.txt
 	diff /tmp/fleet-w1.txt /tmp/fleet-w8.txt && echo "fleet deterministic"
+	/tmp/tspu-lab -exp table2,fig12 -endpoints 200 -ases 12 -echo 50 -tranco 200 -registry 200 2>/dev/null > /tmp/seq-a.txt
+	/tmp/tspu-lab -exp table2,fig12 -endpoints 200 -ases 12 -echo 50 -tranco 200 -registry 200 2>/dev/null > /tmp/seq-b.txt
+	diff /tmp/seq-a.txt /tmp/seq-b.txt && echo "sequential output byte-identical"
+
+# 30 seconds of native fuzzing over the wire parsers that face attacker-
+# controlled bytes (IP/TCP, ClientHello, HTTP response).
+fuzz-smoke:
+	$(GO) test -run '^$$' -fuzz '^FuzzParse$$' -fuzztime 10s ./internal/packet
+	$(GO) test -run '^$$' -fuzz '^FuzzParseClientHello$$' -fuzztime 10s ./internal/tlsx
+	$(GO) test -run '^$$' -fuzz '^FuzzParseResponse$$' -fuzztime 10s ./internal/httpx

@@ -99,7 +99,9 @@ func main() {
 	var okIDs, failedIDs []string
 	for _, id := range clean {
 		lab := tspusim.NewLab(opts)
+		start := time.Now() //tspuvet:allow walltime: per-experiment timing is stderr progress, never experiment output
 		out, err := tspusim.Run(lab, id)
+		fmt.Fprintf(os.Stderr, "%s [%.2fs]\n", id, time.Since(start).Seconds()) //tspuvet:allow walltime: stderr progress only
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "error:", err)
 			failedIDs = append(failedIDs, id)

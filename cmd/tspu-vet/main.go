@@ -1,0 +1,223 @@
+// Command tspu-vet enforces the determinism contract of DESIGN.md: every
+// experiment's output must be a pure function of the lab seed. It runs four
+// analyzers — walltime, globalrand, maporder, allowdirective — over the
+// module (see internal/lint for what each forbids and why).
+//
+// Standalone, over package patterns (the make lint target):
+//
+//	tspu-vet ./...
+//	tspu-vet -maporder=false ./internal/measure
+//
+// Or as a vet tool, which also covers test files:
+//
+//	go vet -vettool=$(which tspu-vet) ./...
+//
+// Violations that are deliberate carry an inline justification:
+//
+//	start := time.Now() //tspuvet:allow walltime: orchestrator metrics are diagnostic only
+//
+// tspu-vet exits non-zero if any diagnostic survives suppression; an unused
+// or malformed //tspuvet:allow is itself a diagnostic, so the allowlist
+// cannot rot.
+package main
+
+import (
+	"crypto/sha256"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"go/importer"
+	"go/token"
+	"io"
+	"os"
+	"strings"
+
+	"tspusim/internal/lint"
+	"tspusim/internal/lint/analysis"
+	"tspusim/internal/lint/driver"
+)
+
+func main() {
+	// The go command probes vet tools before use: `tspu-vet -V=full` must
+	// print a stable identity line, `tspu-vet -flags` the supported flags.
+	if len(os.Args) == 2 && os.Args[0] != "" {
+		switch os.Args[1] {
+		case "-V=full", "--V=full":
+			printVersion()
+			return
+		case "-flags", "--flags":
+			printFlags()
+			return
+		}
+	}
+
+	fs := flag.NewFlagSet("tspu-vet", flag.ExitOnError)
+	enabled := map[string]*bool{}
+	for _, a := range lint.Analyzers() {
+		enabled[a.Name] = fs.Bool(a.Name, true, "enable the "+a.Name+" analyzer: "+a.Doc)
+	}
+	jsonFlag := fs.Bool("json", false, "emit JSON diagnostics instead of text")
+	fs.Int("c", -1, "display offending line with this many lines of context (accepted for go vet compatibility)")
+	fs.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: tspu-vet [flags] [package pattern ...]\n")
+		fmt.Fprintf(os.Stderr, "       tspu-vet [flags] unit.cfg   (go vet -vettool protocol)\n\n")
+		fs.PrintDefaults()
+	}
+	fs.Parse(os.Args[1:])
+
+	var analyzers []*analysis.Analyzer
+	ran := map[string]bool{}
+	for _, a := range lint.Analyzers() {
+		if *enabled[a.Name] {
+			analyzers = append(analyzers, a)
+			ran[a.Name] = true
+		}
+	}
+
+	args := fs.Args()
+	if len(args) == 1 && strings.HasSuffix(args[0], ".cfg") {
+		os.Exit(runUnitchecker(args[0], analyzers, ran, *jsonFlag))
+	}
+	if len(args) == 0 {
+		args = []string{"./..."}
+	}
+	diags, err := driver.Check("", args, analyzers)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "tspu-vet:", err)
+		os.Exit(1)
+	}
+	emit(diags, *jsonFlag)
+	if len(diags) > 0 {
+		os.Exit(1)
+	}
+}
+
+func emit(diags []driver.Diagnostic, asJSON bool) {
+	if asJSON {
+		type jsonDiag struct {
+			Posn     string `json:"posn"`
+			Analyzer string `json:"analyzer"`
+			Message  string `json:"message"`
+		}
+		out := make([]jsonDiag, 0, len(diags))
+		for _, d := range diags {
+			out = append(out, jsonDiag{Posn: d.Pos.String(), Analyzer: d.Analyzer, Message: d.Message})
+		}
+		json.NewEncoder(os.Stdout).Encode(out)
+		return
+	}
+	for _, d := range diags {
+		fmt.Fprintln(os.Stderr, d)
+	}
+}
+
+// unitConfig mirrors the JSON configuration the go command hands a vet tool
+// for each package (x/tools' unitchecker.Config).
+type unitConfig struct {
+	ID                        string
+	Compiler                  string
+	Dir                       string
+	ImportPath                string
+	GoVersion                 string
+	GoFiles                   []string
+	NonGoFiles                []string
+	IgnoredFiles              []string
+	ImportMap                 map[string]string
+	PackageFile               map[string]string
+	Standard                  map[string]bool
+	PackageVetx               map[string]string
+	VetxOnly                  bool
+	VetxOutput                string
+	SucceedOnTypecheckFailure bool
+}
+
+// runUnitchecker analyzes one package under the go vet protocol: read the
+// .cfg, type-check against the export data the go command already built,
+// report diagnostics on stderr, and write the (empty — the suite exchanges
+// no facts) .vetx output the go command expects. Exit codes follow cmd/vet:
+// 0 clean, 1 tool failure, 2 diagnostics.
+func runUnitchecker(cfgFile string, analyzers []*analysis.Analyzer, ran map[string]bool, asJSON bool) int {
+	data, err := os.ReadFile(cfgFile)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "tspu-vet:", err)
+		return 1
+	}
+	var cfg unitConfig
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		fmt.Fprintf(os.Stderr, "tspu-vet: parsing %s: %v\n", cfgFile, err)
+		return 1
+	}
+	writeVetx := func() {
+		if cfg.VetxOutput != "" {
+			os.WriteFile(cfg.VetxOutput, nil, 0o666)
+		}
+	}
+	if cfg.VetxOnly {
+		// Facts-only request for a dependency; the suite has no facts.
+		writeVetx()
+		return 0
+	}
+	compiler := cfg.Compiler
+	if compiler == "" {
+		compiler = "gc"
+	}
+	fset := token.NewFileSet()
+	imp := importer.ForCompiler(fset, compiler, func(path string) (io.ReadCloser, error) {
+		if resolved, ok := cfg.ImportMap[path]; ok {
+			path = resolved
+		}
+		file, ok := cfg.PackageFile[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(file)
+	})
+	diags, err := driver.CheckFiles(fset, imp, cfg.ImportPath, cfg.GoFiles, analyzers, ran)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure && strings.Contains(err.Error(), "type-checking") {
+			writeVetx()
+			return 0
+		}
+		fmt.Fprintln(os.Stderr, "tspu-vet:", err)
+		return 1
+	}
+	writeVetx()
+	emit(diags, asJSON)
+	if len(diags) > 0 {
+		return 2
+	}
+	return 0
+}
+
+// printVersion emits the identity line the go command hashes for its build
+// cache, in the same shape x/tools' unitchecker uses.
+func printVersion() {
+	exe, err := os.Executable()
+	if err == nil {
+		if data, rerr := os.ReadFile(exe); rerr == nil {
+			fmt.Printf("tspu-vet version devel comments-go-here buildID=%02x\n", sha256.Sum256(data))
+			return
+		}
+	}
+	fmt.Println("tspu-vet version devel comments-go-here buildID=unknown")
+}
+
+// printFlags describes the tool's flags as JSON so the go command can vet
+// which command-line flags it may forward.
+func printFlags() {
+	type jsonFlag struct {
+		Name  string
+		Bool  bool
+		Usage string
+	}
+	var out []jsonFlag
+	for _, a := range lint.Analyzers() {
+		out = append(out, jsonFlag{Name: a.Name, Bool: true, Usage: a.Doc})
+	}
+	out = append(out,
+		jsonFlag{Name: "json", Bool: true, Usage: "emit JSON diagnostics"},
+		jsonFlag{Name: "c", Bool: false, Usage: "display context lines"},
+	)
+	data, _ := json.Marshal(out)
+	fmt.Println(string(data))
+}

@@ -200,7 +200,7 @@ func (r *Runner) Run(jobs []Job, fn RunFunc) *Report {
 func (r *Runner) runJob(job Job, fn RunFunc) JobResult {
 	r.m.jobStarted()
 	res := JobResult{Job: job}
-	start := time.Now()
+	start := time.Now() //tspuvet:allow walltime: per-job wall time is diagnostic metadata, excluded from aggregate reports
 	for attempt := 0; ; attempt++ {
 		res.Attempts = attempt + 1
 		out, stats, err := r.attempt(job, fn)
@@ -214,10 +214,10 @@ func (r *Runner) runJob(job Job, fn RunFunc) JobResult {
 		}
 		r.m.jobRetried()
 		if r.cfg.Backoff > 0 {
-			time.Sleep(r.cfg.Backoff << uint(attempt))
+			time.Sleep(r.cfg.Backoff << uint(attempt)) //tspuvet:allow walltime: retry backoff paces real goroutines, not simulation events
 		}
 	}
-	res.Wall = time.Since(start)
+	res.Wall = time.Since(start) //tspuvet:allow walltime: diagnostic only; RenderAggregate never includes Wall
 	r.m.jobDone(res.Wall, res.Failed())
 	return res
 }
@@ -252,7 +252,7 @@ func (r *Runner) attempt(job Job, fn RunFunc) (string, []Stat, error) {
 		oc := <-ch
 		return oc.out, oc.stats, oc.err
 	}
-	timer := time.NewTimer(r.cfg.Timeout)
+	timer := time.NewTimer(r.cfg.Timeout) //tspuvet:allow walltime: the per-attempt timeout bounds real wall time of a wedged job
 	defer timer.Stop()
 	select {
 	case oc := <-ch:

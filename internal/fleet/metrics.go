@@ -50,7 +50,7 @@ type metrics struct {
 
 func (m *metrics) begin(queued int) {
 	m.mu.Lock()
-	m.start = time.Now()
+	m.start = time.Now() //tspuvet:allow walltime: progress metrics are stderr diagnostics, never aggregated
 	m.snap = Snapshot{Queued: queued}
 	m.mu.Unlock()
 }
@@ -78,7 +78,7 @@ func (m *metrics) update(f func(*Snapshot)) {
 	m.mu.Lock()
 	f(&m.snap)
 	snap := m.snap
-	snap.Elapsed = time.Since(m.start)
+	snap.Elapsed = time.Since(m.start) //tspuvet:allow walltime: progress metrics are stderr diagnostics, never aggregated
 	cb := m.onUpdate
 	m.mu.Unlock()
 	if cb != nil {
@@ -90,6 +90,6 @@ func (m *metrics) snapshot() Snapshot {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	snap := m.snap
-	snap.Elapsed = time.Since(m.start)
+	snap.Elapsed = time.Since(m.start) //tspuvet:allow walltime: progress metrics are stderr diagnostics, never aggregated
 	return snap
 }

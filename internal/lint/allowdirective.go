@@ -1,0 +1,25 @@
+package lint
+
+import (
+	"tspusim/internal/lint/analysis"
+)
+
+// Allowdirective validates //tspuvet:allow suppression comments so the
+// allowlist can never rot: a directive with no reason, an unknown verb, or
+// an unknown analyzer name is itself a diagnostic. The complementary check —
+// a well-formed directive that no longer suppresses anything — needs the
+// other analyzers' diagnostics and therefore lives in Suppress, which the
+// driver runs after the whole suite.
+var Allowdirective = &analysis.Analyzer{
+	Name: "allowdirective",
+	Doc: "validate //tspuvet:allow directives: the analyzer name must exist, " +
+		"the reason is mandatory, and (via the driver) unused directives are flagged",
+	Run: runAllowdirective,
+}
+
+func runAllowdirective(pass *analysis.Pass) (any, error) {
+	for _, f := range pass.Files {
+		ParseDirectives(pass.Fset, f, pass.Report)
+	}
+	return nil, nil
+}

@@ -1,0 +1,197 @@
+// Package driver loads, type-checks, and analyzes Go packages for tspu-vet
+// without golang.org/x/tools: package discovery and export data come from
+// `go list -export -deps -json` (which works offline against the build
+// cache), type information from go/types with the stdlib gc importer, and
+// the analyzers from internal/lint.
+//
+// Only non-test files are analyzed. The determinism contract governs what
+// can reach experiment output; tests measure wall time and exercise the
+// orchestrator's real clocks deliberately, and go vet's own unitchecker path
+// (cmd/tspu-vet as -vettool) covers test files when wanted.
+package driver
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"tspusim/internal/lint"
+	"tspusim/internal/lint/analysis"
+)
+
+// listPackage is the subset of `go list -json` output the driver consumes.
+type listPackage struct {
+	ImportPath string
+	Dir        string
+	GoFiles    []string
+	Export     string
+	DepOnly    bool
+	Standard   bool
+	ImportMap  map[string]string
+	Error      *struct{ Err string }
+}
+
+// Diagnostic is one rendered finding.
+type Diagnostic struct {
+	Pos      token.Position
+	Analyzer string
+	Message  string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s: %s (%s)", d.Pos, d.Message, d.Analyzer)
+}
+
+// Check runs analyzers over the packages matching patterns (resolved by the
+// go command relative to dir; empty dir means the current directory) and
+// returns the surviving diagnostics after //tspuvet:allow suppression,
+// sorted by position.
+func Check(dir string, patterns []string, analyzers []*analysis.Analyzer) ([]Diagnostic, error) {
+	pkgs, exports, err := goList(dir, patterns)
+	if err != nil {
+		return nil, err
+	}
+	ran := map[string]bool{}
+	for _, a := range analyzers {
+		ran[a.Name] = true
+	}
+
+	fset := token.NewFileSet()
+	// One shared importer: export data is position-independent and the
+	// module has no vendoring, so a single path->file map serves every
+	// target package and lets the importer cache dependencies.
+	imp := importer.ForCompiler(fset, "gc", func(path string) (io.ReadCloser, error) {
+		file, ok := exports[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(file)
+	})
+
+	var diags []Diagnostic
+	for _, lp := range pkgs {
+		if lp.DepOnly || len(lp.GoFiles) == 0 {
+			continue
+		}
+		pkgDiags, err := checkPackage(fset, imp, lp, analyzers, ran)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", lp.ImportPath, err)
+		}
+		diags = append(diags, pkgDiags...)
+	}
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return diags, nil
+}
+
+// CheckFiles analyzes one already-listed package given its files and an
+// import resolver — the unitchecker entry point shared with Check.
+func CheckFiles(fset *token.FileSet, imp types.Importer, importPath string, filenames []string,
+	analyzers []*analysis.Analyzer, ran map[string]bool) ([]Diagnostic, error) {
+	var files []*ast.File
+	for _, name := range filenames {
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+	}
+	conf := types.Config{Importer: imp}
+	pkg, err := conf.Check(importPath, fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("type-checking: %w", err)
+	}
+
+	var raw []analysis.Diagnostic
+	for _, a := range analyzers {
+		name := a.Name
+		pass := &analysis.Pass{
+			Analyzer:  a,
+			Fset:      fset,
+			Files:     files,
+			Pkg:       pkg,
+			TypesInfo: info,
+			Report: func(d analysis.Diagnostic) {
+				d.Category = name
+				raw = append(raw, d)
+			},
+		}
+		if _, err := a.Run(pass); err != nil {
+			return nil, fmt.Errorf("analyzer %s: %w", name, err)
+		}
+	}
+	kept := lint.Suppress(fset, files, raw, ran)
+	out := make([]Diagnostic, 0, len(kept))
+	for _, d := range kept {
+		out = append(out, Diagnostic{Pos: fset.Position(d.Pos), Analyzer: d.Category, Message: d.Message})
+	}
+	return out, nil
+}
+
+func checkPackage(fset *token.FileSet, imp types.Importer, lp *listPackage,
+	analyzers []*analysis.Analyzer, ran map[string]bool) ([]Diagnostic, error) {
+	names := make([]string, len(lp.GoFiles))
+	for i, f := range lp.GoFiles {
+		names[i] = filepath.Join(lp.Dir, f)
+	}
+	return CheckFiles(fset, imp, lp.ImportPath, names, analyzers, ran)
+}
+
+// goList shells out once for targets and their full dependency closure with
+// export data, so type-checking needs no network and no second pass.
+func goList(dir string, patterns []string) ([]*listPackage, map[string]string, error) {
+	args := append([]string{"list", "-export", "-deps", "-json"}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stdout, stderr bytes.Buffer
+	cmd.Stdout = &stdout
+	cmd.Stderr = &stderr
+	if err := cmd.Run(); err != nil {
+		return nil, nil, fmt.Errorf("go list: %v\n%s", err, strings.TrimSpace(stderr.String()))
+	}
+	var pkgs []*listPackage
+	exports := map[string]string{}
+	dec := json.NewDecoder(&stdout)
+	for dec.More() {
+		lp := &listPackage{}
+		if err := dec.Decode(lp); err != nil {
+			return nil, nil, fmt.Errorf("go list output: %v", err)
+		}
+		if lp.Error != nil {
+			return nil, nil, fmt.Errorf("go list %s: %s", lp.ImportPath, lp.Error.Err)
+		}
+		if lp.Export != "" {
+			exports[lp.ImportPath] = lp.Export
+		}
+		pkgs = append(pkgs, lp)
+	}
+	return pkgs, exports, nil
+}

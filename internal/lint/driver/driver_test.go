@@ -1,0 +1,45 @@
+package driver_test
+
+import (
+	"testing"
+
+	"tspusim/internal/lint"
+	"tspusim/internal/lint/driver"
+)
+
+// The simulator core and the report renderer are the two packages the
+// determinism contract protects most directly; they must always come back
+// clean, which also exercises the whole load → typecheck → analyze →
+// suppress pipeline against real module packages.
+func TestCheckCorePackagesClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("shells out to the go command")
+	}
+	diags, err := driver.Check("", []string{
+		"tspusim/internal/sim",
+		"tspusim/internal/report",
+	}, lint.Analyzers())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range diags {
+		t.Errorf("unexpected diagnostic: %s", d)
+	}
+}
+
+// The fleet orchestrator deals in real wall time on purpose; every one of
+// its clock reads must be excused by a reasoned directive, so the package is
+// clean under the full suite but dirty when suppression cannot apply — the
+// live proof that the allowlist is what keeps the build green.
+func TestCheckFleetSuppressedByDirectives(t *testing.T) {
+	if testing.Short() {
+		t.Skip("shells out to the go command")
+	}
+	diags, err := driver.Check("", []string{"tspusim/internal/fleet"}, lint.Analyzers())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range diags {
+		t.Errorf("unexpected diagnostic: %s", d)
+	}
+}

@@ -1,0 +1,42 @@
+package lint
+
+import (
+	"strconv"
+
+	"tspusim/internal/lint/analysis"
+)
+
+// Globalrand forbids importing the ambient randomness packages. All entropy
+// in this module must flow from one root seed through sim.Rand (the
+// self-contained xoshiro generator) or sim.StreamSeed, so that every
+// experiment is byte-for-byte regenerable and adding randomness in one
+// subsystem cannot perturb another. math/rand's global source, math/rand/v2
+// (auto-seeded, no Seed at all), and crypto/rand are all unreproducible by
+// construction, so the import itself is the violation.
+var Globalrand = &analysis.Analyzer{
+	Name: "globalrand",
+	Doc: "forbid math/rand, math/rand/v2, and crypto/rand imports; " +
+		"experiment entropy must derive from sim.Rand / sim.StreamSeed",
+	Run: runGlobalrand,
+}
+
+var bannedRandImports = map[string]string{
+	"math/rand":    "its global source is shared mutable state outside the seed's control",
+	"math/rand/v2": "it auto-seeds from the OS and cannot be made reproducible",
+	"crypto/rand":  "it is entropy from the OS, unreproducible by design",
+}
+
+func runGlobalrand(pass *analysis.Pass) (any, error) {
+	for _, f := range pass.Files {
+		for _, imp := range f.Imports {
+			path, err := strconv.Unquote(imp.Path.Value)
+			if err != nil {
+				continue
+			}
+			if why, banned := bannedRandImports[path]; banned {
+				pass.ReportRangef(imp, "import of %s: %s; derive randomness from sim.Rand / sim.StreamSeed", path, why)
+			}
+		}
+	}
+	return nil, nil
+}

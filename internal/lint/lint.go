@@ -1,0 +1,165 @@
+// Package lint is tspu-vet: a suite of static analyzers that enforce the
+// determinism contract of DESIGN.md at compile time. Every claim the
+// reproduction makes rests on experiment output being a pure function of the
+// lab seed; these analyzers turn the three ways that property silently rots
+// — wall-clock reads, ambient randomness, and map-iteration order reaching
+// rendered output — into build failures.
+//
+// The suite:
+//
+//   - walltime: forbids time.Now/Since/Sleep/NewTimer/... — simulation code
+//     must take time from the virtual clock (sim.Sim).
+//   - globalrand: forbids importing math/rand, math/rand/v2, and
+//     crypto/rand — all entropy must derive from sim.Rand / sim.StreamSeed.
+//   - maporder: flags `for k := range m` over maps whose body feeds ordered
+//     output (append, string building, report tables) without sorting.
+//   - allowdirective: validates //tspuvet:allow suppression directives; a
+//     malformed directive, an unknown analyzer name, or (via Suppress) a
+//     directive that no longer suppresses anything is itself a diagnostic.
+//
+// Exceptions are declared inline, next to the code they excuse:
+//
+//	start := time.Now() //tspuvet:allow walltime: orchestrator wall time is diagnostic only
+//
+// A directive suppresses diagnostics of the named analyzer on its own line
+// or on the line immediately below it (so it can trail the offending line or
+// sit on its own line above it). The reason is mandatory.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"strings"
+
+	"tspusim/internal/lint/analysis"
+)
+
+// Analyzers returns the full suite in stable order.
+func Analyzers() []*analysis.Analyzer {
+	return []*analysis.Analyzer{Walltime, Globalrand, Maporder, Allowdirective}
+}
+
+// Suppressible names the analyzers a //tspuvet:allow directive may target.
+// Allowdirective itself is excluded: suppressing the suppression checker
+// would let the allowlist rot, which is the one thing it exists to prevent.
+var Suppressible = map[string]bool{
+	"walltime":   true,
+	"globalrand": true,
+	"maporder":   true,
+}
+
+const directivePrefix = "//tspuvet:"
+
+// Directive is one parsed //tspuvet:allow comment.
+type Directive struct {
+	Pos      token.Pos
+	Line     int    // source line the directive sits on
+	Analyzer string // suppressed analyzer name
+	Reason   string
+}
+
+// ParseDirectives extracts every well-formed //tspuvet:allow directive from
+// file and reports each malformed one through report (used by the
+// allowdirective analyzer; the driver passes a no-op to collect directives
+// for suppression).
+func ParseDirectives(fset *token.FileSet, file *ast.File, report func(analysis.Diagnostic)) []Directive {
+	var dirs []Directive
+	for _, cg := range file.Comments {
+		for _, c := range cg.List {
+			if !strings.HasPrefix(c.Text, directivePrefix) {
+				continue
+			}
+			body := strings.TrimPrefix(c.Text, directivePrefix)
+			// A later "//" ends the directive (trailing commentary, and the
+			// golden fixtures' want annotations); reasons cannot contain it.
+			if i := strings.Index(body, "//"); i >= 0 {
+				body = strings.TrimSpace(body[:i])
+			}
+			verb, rest, _ := strings.Cut(body, " ")
+			if verb != "allow" {
+				report(analysis.Diagnostic{Pos: c.Pos(), Message: fmt.Sprintf(
+					"unknown tspuvet directive %q (only //tspuvet:allow <analyzer>: <reason> is recognized)", verb)})
+				continue
+			}
+			name, reason, ok := strings.Cut(rest, ":")
+			name = strings.TrimSpace(name)
+			reason = strings.TrimSpace(reason)
+			if !ok || name == "" {
+				report(analysis.Diagnostic{Pos: c.Pos(), Message: fmt.Sprintf(
+					"malformed //tspuvet:allow directive %q: want //tspuvet:allow <analyzer>: <reason>", c.Text)})
+				continue
+			}
+			if !Suppressible[name] {
+				report(analysis.Diagnostic{Pos: c.Pos(), Message: fmt.Sprintf(
+					"//tspuvet:allow names unknown analyzer %q (suppressible: globalrand, maporder, walltime)", name)})
+				continue
+			}
+			if reason == "" {
+				report(analysis.Diagnostic{Pos: c.Pos(), Message: fmt.Sprintf(
+					"//tspuvet:allow %s is missing a reason: the allowlist must explain itself", name)})
+				continue
+			}
+			dirs = append(dirs, Directive{
+				Pos:      c.Pos(),
+				Line:     fset.Position(c.Pos()).Line,
+				Analyzer: name,
+				Reason:   reason,
+			})
+		}
+	}
+	return dirs
+}
+
+// Suppress applies //tspuvet:allow directives from files to diags: a
+// diagnostic is dropped when a directive naming its analyzer sits on the
+// diagnostic's line or the line above. Directives that suppress nothing are
+// themselves returned as allowdirective diagnostics — but only for analyzers
+// in ran, so running a subset of the suite never reports live directives as
+// stale. The returned slice preserves the input order of kept diagnostics.
+func Suppress(fset *token.FileSet, files []*ast.File, diags []analysis.Diagnostic, ran map[string]bool) []analysis.Diagnostic {
+	type key struct {
+		file     string
+		line     int
+		analyzer string
+	}
+	byKey := map[key][]*Directive{}
+	var all []*Directive
+	for _, f := range files {
+		fdirs := ParseDirectives(fset, f, func(analysis.Diagnostic) {})
+		fname := fset.Position(f.Pos()).Filename
+		for i := range fdirs {
+			d := &fdirs[i]
+			all = append(all, d)
+			byKey[key{fname, d.Line, d.Analyzer}] = append(byKey[key{fname, d.Line, d.Analyzer}], d)
+		}
+	}
+	used := map[*Directive]bool{}
+	var kept []analysis.Diagnostic
+	for _, d := range diags {
+		pos := fset.Position(d.Pos)
+		suppressed := false
+		if Suppressible[d.Category] {
+			for _, line := range []int{pos.Line, pos.Line - 1} {
+				for _, dir := range byKey[key{pos.Filename, line, d.Category}] {
+					used[dir] = true
+					suppressed = true
+				}
+			}
+		}
+		if !suppressed {
+			kept = append(kept, d)
+		}
+	}
+	for _, dir := range all {
+		if !used[dir] && ran[dir.Analyzer] {
+			kept = append(kept, analysis.Diagnostic{
+				Pos:      dir.Pos,
+				Category: Allowdirective.Name,
+				Message: fmt.Sprintf("unused //tspuvet:allow %s directive: it no longer suppresses any diagnostic; delete it",
+					dir.Analyzer),
+			})
+		}
+	}
+	return kept
+}

@@ -1,0 +1,24 @@
+package lint_test
+
+import (
+	"testing"
+
+	"tspusim/internal/lint"
+	"tspusim/internal/lint/analysistest"
+)
+
+func TestWalltime(t *testing.T) {
+	analysistest.Run(t, "testdata", lint.Walltime, "walltime")
+}
+
+func TestGlobalrand(t *testing.T) {
+	analysistest.Run(t, "testdata", lint.Globalrand, "globalrand")
+}
+
+func TestMaporder(t *testing.T) {
+	analysistest.Run(t, "testdata", lint.Maporder, "maporder")
+}
+
+func TestAllowdirective(t *testing.T) {
+	analysistest.Run(t, "testdata", lint.Allowdirective, "allowdirective")
+}

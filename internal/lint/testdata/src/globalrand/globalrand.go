@@ -1,0 +1,20 @@
+// Package globalrand seeds the three ambient-entropy imports the analyzer
+// forbids: experiment randomness must flow from the lab seed through
+// sim.Rand / sim.StreamSeed, never from process-global or OS entropy.
+package globalrand
+
+import (
+	crand "crypto/rand" // want `import of crypto/rand: it is entropy from the OS`
+	"math/rand"         // want `import of math/rand: its global source is shared mutable state`
+	v2 "math/rand/v2"   // want `import of math/rand/v2: it auto-seeds from the OS`
+)
+
+func roll() int {
+	return rand.Intn(6) + v2.IntN(6)
+}
+
+func nonce() []byte {
+	b := make([]byte, 16)
+	crand.Read(b)
+	return b
+}

@@ -1,0 +1,61 @@
+package lint
+
+import (
+	"go/ast"
+
+	"tspusim/internal/lint/analysis"
+)
+
+// Walltime forbids reading or scheduling against the wall clock. The
+// simulator's whole value over the paper's fieldwork is that timeout
+// semantics run on a virtual clock (internal/sim), so one stray time.Now in
+// a simulation package makes experiment output vary run to run. Code that
+// legitimately deals in wall time — the fleet orchestrator's diagnostic
+// metrics, command-line progress on stderr — declares it inline:
+//
+//	start := time.Now() //tspuvet:allow walltime: metrics are diagnostics, never aggregated
+var Walltime = &analysis.Analyzer{
+	Name: "walltime",
+	Doc: "forbid wall-clock time (time.Now, time.Since, time.Sleep, timers); " +
+		"simulation code must use the virtual clock (sim.Sim)",
+	Run: runWalltime,
+}
+
+// walltimeFuncs are the package-time functions that observe or depend on the
+// wall clock. Pure constructors and conversions (time.Duration, time.Unix,
+// time.Date, ParseDuration) are deterministic and stay legal.
+var walltimeFuncs = map[string]bool{
+	"Now":       true,
+	"Since":     true,
+	"Until":     true,
+	"Sleep":     true,
+	"After":     true,
+	"Tick":      true,
+	"NewTimer":  true,
+	"NewTicker": true,
+	"AfterFunc": true,
+}
+
+func runWalltime(pass *analysis.Pass) (any, error) {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			id, ok := sel.X.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			pn := pass.PkgNameOf(id)
+			if pn == nil || pn.Imported().Path() != "time" {
+				return true
+			}
+			if walltimeFuncs[sel.Sel.Name] {
+				pass.ReportRangef(sel, "time.%s is wall-clock time; use the virtual clock (sim.Sim) so runs stay deterministic", sel.Sel.Name)
+			}
+			return true
+		})
+	}
+	return nil, nil
+}

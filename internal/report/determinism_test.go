@@ -1,0 +1,42 @@
+package report
+
+import "testing"
+
+// Hist stores its buckets in a map; rendering must nevertheless be a pure
+// function of the multiset of samples. Two histograms built with reversed
+// insertion orders (different internal map layouts, different iteration
+// orders) must render byte-for-byte identically.
+func TestHistRenderInsertionOrderInvariant(t *testing.T) {
+	buckets := []int{9, 1, 4, 4, 7, 0, 2, 9, 9, 3, 5, 5, 5, 8, 6, 2}
+	fwd := NewHist("Fig. 12 hop distances")
+	for _, b := range buckets {
+		fwd.Add(b)
+	}
+	rev := NewHist("Fig. 12 hop distances")
+	for i := len(buckets) - 1; i >= 0; i-- {
+		rev.Add(buckets[i])
+	}
+	a, b := fwd.String(), rev.String()
+	if a != b {
+		t.Fatalf("Hist render depends on insertion order:\n%s\nvs\n%s", a, b)
+	}
+	if fwd.FracAtOrBelow(4) != rev.FracAtOrBelow(4) {
+		t.Fatal("FracAtOrBelow depends on insertion order")
+	}
+}
+
+// AddN must land in the same buckets as repeated Add, so scaled insertion
+// renders identically too.
+func TestHistRenderAddNEquivalence(t *testing.T) {
+	one := NewHist("h")
+	for i := 0; i < 3; i++ {
+		one.Add(2)
+	}
+	one.Add(5)
+	bulk := NewHist("h")
+	bulk.AddN(5, 1)
+	bulk.AddN(2, 3)
+	if one.String() != bulk.String() {
+		t.Fatalf("AddN render differs from Add render:\n%s\nvs\n%s", one.String(), bulk.String())
+	}
+}

@@ -2,6 +2,7 @@ package tspu
 
 import (
 	"net/netip"
+	"strings"
 	"testing"
 	"testing/quick"
 	"time"
@@ -108,6 +109,97 @@ func TestDevicePayloadSoupNoFalseTriggers(t *testing.T) {
 			t.Fatalf("random payloads triggered %v %d times", typ, st.Triggers[typ])
 		}
 	}
+}
+
+// capturePipe records forwarded packets and schedules timeouts on the
+// virtual clock, so fuzzed fragment sequences can assert on what a queue
+// released and that drained timeouts leave no state behind.
+type capturePipe struct {
+	s        *sim.Sim
+	injected []*packet.Packet
+}
+
+func (p *capturePipe) Inject(pkt *packet.Packet, dir netem.Direction) {
+	p.injected = append(p.injected, pkt)
+}
+func (p *capturePipe) Now() time.Duration               { return p.s.Now() }
+func (p *capturePipe) After(d time.Duration, fn func()) { p.s.After(d, fn) }
+
+// FuzzFragEngine drives the §5.3.1 fragment queue with arbitrary fragment
+// sequences: each 4 input bytes decode to one fragment (flow, 8-aligned
+// offset, length, more-fragments flag, TTL). Invariants: the engine never
+// panics, released queues forward at least one fragment each, and once the
+// virtual clock drains every queue timeout, no queue state survives.
+//
+// Run with: go test -fuzz=FuzzFragEngine ./internal/tspu
+func FuzzFragEngine(f *testing.F) {
+	f.Add([]byte{0, 1, 1, 64, 8, 1, 0, 64})             // two fragments, complete in order
+	f.Add([]byte{8, 1, 0, 64, 0, 1, 1, 64})             // complete, final first
+	f.Add([]byte{0, 2, 1, 64, 0, 2, 1, 64})             // duplicate => poisoned queue
+	f.Add([]byte{0, 1, 1, 7, 8, 1, 1, 200, 16, 1, 0, 9}) // TTL rewrite material
+	f.Fuzz(func(t *testing.T, data []byte) {
+		s := sim.New()
+		pipe := &capturePipe{s: s}
+		fe := newFragEngine(0, 0) // paper defaults: 45 fragments, 5 s
+		src := packet.MustAddr("10.0.0.2")
+		dst := packet.MustAddr("203.0.113.10")
+		for i := 0; i+4 <= len(data) && i < 4*64; i += 4 {
+			off, ln, ctl, ttl := data[i], data[i+1], data[i+2], data[i+3]
+			payload := make([]byte, 8*(1+int(ln)%8))
+			pkt := packet.NewTCP(src, dst, 40000, 443, packet.FlagSYN, 1, 0, nil)
+			pkt.TCP = nil
+			pkt.RawPayload = payload
+			pkt.IP.FragOffset = uint16(off%64) * 8
+			pkt.IP.MF = ctl&1 == 1
+			pkt.IP.TTL = ttl
+			pkt.IP.ID = uint16(ctl >> 1 & 3) // up to four interleaved flows
+			if got := fe.handle(pipe, pkt, netem.AtoB); got != netem.Drop {
+				t.Fatalf("handle returned %v; fragments must always be consumed", got)
+			}
+		}
+		if fe.forwarded > 0 && len(pipe.injected) < fe.forwarded {
+			t.Fatalf("%d queues released but only %d fragments forwarded", fe.forwarded, len(pipe.injected))
+		}
+		s.Run() // fire every queue timeout on the virtual clock
+		if fe.pending() != 0 {
+			t.Fatalf("%d fragment queues leaked past their timeout", fe.pending())
+		}
+	})
+}
+
+// FuzzPolicyMatch drives the SNI/domain matcher with arbitrary byte-soup
+// domains: insertion is always observable (exact and subdomain matches),
+// removal always clears it, and nothing panics on non-UTF-8 input.
+//
+// Run with: go test -fuzz=FuzzPolicyMatch ./internal/tspu
+func FuzzPolicyMatch(f *testing.F) {
+	f.Add("twitter.com", "api.twitter.com")
+	f.Add("TWITTER.com.", "twitter.com")
+	f.Add(".com", "a..com")
+	f.Add("", "\xff\xfe")
+	f.Fuzz(func(t *testing.T, domain, name string) {
+		s := NewDomainSet(domain)
+		if s.Len() != 1 {
+			t.Fatalf("Len() = %d after inserting one domain", s.Len())
+		}
+		s.Contains(name) // must not panic, whatever the bytes
+		normalized := strings.ToLower(strings.TrimSuffix(domain, "."))
+		if normalized != "" {
+			if !s.Contains(domain) {
+				t.Fatalf("Contains(%q) = false right after Add", domain)
+			}
+			if !s.Contains("sub." + normalized) {
+				t.Fatalf("subdomain sub.%q did not match", normalized)
+			}
+		}
+		s.Remove(domain)
+		if s.Contains(domain) {
+			t.Fatalf("Contains(%q) = true after Remove", domain)
+		}
+		if s.Len() != 0 {
+			t.Fatalf("Len() = %d after Remove", s.Len())
+		}
+	})
 }
 
 // TestConntrackInvariants property-checks the state machine: entries always

@@ -15,6 +15,7 @@ package tspu
 
 import (
 	"net/netip"
+	"sort"
 	"strings"
 	"time"
 
@@ -118,7 +119,8 @@ func (s *DomainSet) Len() int {
 	return len(s.exact)
 }
 
-// Domains returns the entries (unsorted).
+// Domains returns the entries in sorted order, so anything rendered from a
+// policy (reports, surveys, traces) is independent of map iteration order.
 func (s *DomainSet) Domains() []string {
 	if s == nil {
 		return nil
@@ -127,6 +129,7 @@ func (s *DomainSet) Domains() []string {
 	for d := range s.exact {
 		out = append(out, d)
 	}
+	sort.Strings(out)
 	return out
 }
 

@@ -317,15 +317,16 @@ func (e Experiment) Header() string {
 	return fmt.Sprintf("### %s — %s (%s)", e.ID, e.Title, e.Paper)
 }
 
-// Run executes the experiment with the given ID on lab.
+// Run executes the experiment with the given ID on lab. The returned string
+// is a pure function of the lab seed — byte-identical across runs — so
+// callers wanting wall-clock timing must measure around this call and keep
+// it out of the experiment artifact (cmd/tspu-lab prints it to stderr).
 func Run(lab *Lab, id string) (string, error) {
 	e, ok := Find(id)
 	if !ok {
 		return "", fmt.Errorf("tspusim: unknown experiment %q (use IDs from Experiments)", id)
 	}
-	start := time.Now()
-	out := e.Run(lab)
-	return fmt.Sprintf("%s [%.2fs]\n%s", e.Header(), time.Since(start).Seconds(), out), nil
+	return e.Header() + "\n" + e.Run(lab), nil
 }
 
 // IDs returns every experiment ID.

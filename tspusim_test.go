@@ -34,6 +34,27 @@ func TestRunUnknownID(t *testing.T) {
 	}
 }
 
+// Run's output must be a pure function of the lab seed. This is the
+// regression test for the wall-clock stamp tspu-vet was built to catch: the
+// "[%.2fs]" timing that used to live in the returned string made every run
+// unique.
+func TestRunOutputByteIdentical(t *testing.T) {
+	opts := Options{Seed: 3, Endpoints: 60, ASes: 6, EchoServers: 20, TrancoN: 80, RegistryN: 80}
+	for _, id := range []string{"table1", "fig12"} {
+		a, err := Run(NewLab(opts), id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := Run(NewLab(opts), id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if a != b {
+			t.Fatalf("%s output differs between two runs of the same seed:\n%s\nvs\n%s", id, a, b)
+		}
+	}
+}
+
 func TestRunSmokeEveryExperiment(t *testing.T) {
 	// Every experiment must run to completion on a small lab and produce
 	// non-trivial output. Fresh lab per experiment keeps them independent.
