@@ -5,11 +5,11 @@
 
 GO ?= go
 
-.PHONY: all check vet lint build test race bench fleet-smoke fuzz-smoke
+.PHONY: all check vet lint build test race conformance cover bench fleet-smoke fuzz-smoke
 
 all: check
 
-check: vet lint build test race
+check: vet lint build test conformance race
 
 vet:
 	$(GO) vet ./...
@@ -29,6 +29,23 @@ test:
 
 race:
 	$(GO) test -race ./...
+
+# Model-based conformance: 1,000 seeded scenarios replayed through the
+# device and the paper-derived oracle (zero divergences required), golden
+# trace replays, shrunk-regression replays, and timeout fault re-injection.
+# -count=1 defeats the test cache so the differential run is always live.
+conformance:
+	$(GO) test -count=1 ./internal/conformance
+
+# Coverage gate for the packages that encode the paper's behavioral claims.
+# Baselines are the growth seed's numbers (tspu 89.3%, measure 91.5%) less
+# half a point of slack, because statement counting jitters a few tenths
+# between runs; a drop below the gate means a tested behavior was removed.
+cover:
+	$(GO) test -count=1 -coverprofile=/tmp/cover-tspu.out ./internal/tspu
+	$(GO) test -count=1 -coverprofile=/tmp/cover-measure.out ./internal/measure
+	$(GO) tool cover -func=/tmp/cover-tspu.out | awk '/^total:/ { sub(/%/,"",$$3); if ($$3+0 < 88.8) { printf "internal/tspu coverage %s%% fell below the 88.8%% gate (seed 89.3%%)\n", $$3; exit 1 }; printf "internal/tspu coverage %s%% (gate 88.8%%, seed 89.3%%)\n", $$3 }'
+	$(GO) tool cover -func=/tmp/cover-measure.out | awk '/^total:/ { sub(/%/,"",$$3); if ($$3+0 < 91.0) { printf "internal/measure coverage %s%% fell below the 91.0%% gate (seed 91.5%%)\n", $$3; exit 1 }; printf "internal/measure coverage %s%% (gate 91.0%%, seed 91.5%%)\n", $$3 }'
 
 bench:
 	$(GO) test -run '^$$' -bench . -benchmem ./...

@@ -1,0 +1,91 @@
+package conformance
+
+import "time"
+
+// Shrink minimizes tr while keep keeps returning true (keep must hold for tr
+// itself). It alternates ddmin-style chunk removal with per-step payload
+// simplification until a fixpoint or the evaluation budget is reached, and
+// returns the smallest trace found. keep is called on candidate clones; it
+// must not mutate its argument.
+func Shrink(tr *Trace, keep func(*Trace) bool, maxEvals int) *Trace {
+	evals := 0
+	try := func(c *Trace) bool {
+		if evals >= maxEvals {
+			return false
+		}
+		evals++
+		return keep(c)
+	}
+
+	cur := tr.Clone()
+	for {
+		changed := removePass(&cur, try)
+		if simplifyPass(cur, try) {
+			changed = true
+		}
+		if !changed || evals >= maxEvals {
+			return cur
+		}
+	}
+}
+
+// removePass is one round of ddmin: delete chunks of halving size wherever
+// the failure persists without them.
+func removePass(cur **Trace, try func(*Trace) bool) bool {
+	changed := false
+	for chunk := len((*cur).Steps) / 2; chunk >= 1; chunk /= 2 {
+		i := 0
+		for i < len((*cur).Steps) {
+			end := i + chunk
+			if end > len((*cur).Steps) {
+				end = len((*cur).Steps)
+			}
+			cand := (*cur).Clone()
+			cand.Steps = append(cand.Steps[:i:i], cand.Steps[end:]...)
+			if len(cand.Steps) > 0 && try(cand) {
+				*cur = cand
+				changed = true
+			} else {
+				i = end
+			}
+		}
+	}
+	return changed
+}
+
+// simplifyPass rewrites surviving steps in place toward smaller equivalents:
+// shorter payloads, halved clock advances, smaller floods.
+func simplifyPass(cur *Trace, try func(*Trace) bool) bool {
+	changed := false
+	attempt := func(i int, mutate func(*Step)) {
+		cand := cur.Clone()
+		mutate(&cand.Steps[i])
+		if cand.Steps[i] != cur.Steps[i] && try(cand) {
+			cur.Steps[i] = cand.Steps[i]
+			changed = true
+		}
+	}
+	for i := range cur.Steps {
+		switch cur.Steps[i].Kind {
+		case StepTCP:
+			if cur.Steps[i].DataLen > 1 {
+				attempt(i, func(s *Step) { s.DataLen = 1 })
+			}
+		case StepAdvance:
+			for _, d := range []time.Duration{
+				cur.Steps[i].Adv / 2, 5 * time.Second, time.Second,
+			} {
+				if d > 0 && d < cur.Steps[i].Adv {
+					attempt(i, func(s *Step) { s.Adv = d })
+				}
+			}
+		case StepFragFlood:
+			for _, n := range []int{46, cur.Steps[i].Count / 2, 2} {
+				if n > 0 && n < cur.Steps[i].Count {
+					attempt(i, func(s *Step) { s.Count = n })
+				}
+			}
+		}
+	}
+	return changed
+}

@@ -1,0 +1,159 @@
+package tspu
+
+import (
+	"testing"
+	"time"
+
+	"tspusim/internal/packet"
+)
+
+// --- token-bucket unit behavior (§5.2: policing, not shaping) ---
+
+func TestTokenBucketBurstThenPolice(t *testing.T) {
+	tb := newTokenBucket(650, 0, 0)
+	if !tb.admit(1460, 0) {
+		t.Fatal("one MSS must pass on the initial burst")
+	}
+	if tb.admit(1, 0) {
+		t.Fatal("drained bucket must police the very next byte")
+	}
+	if !tb.admit(0, 0) {
+		t.Fatal("zero-length packets (pure ACKs) must always conform")
+	}
+}
+
+func TestTokenBucketRefillRate(t *testing.T) {
+	tb := newTokenBucket(650, 0, 0)
+	tb.admit(1460, 0) // drain the burst
+	if tb.admit(651, time.Second) {
+		t.Fatal("one second refills exactly 650 bytes; 651 must not conform")
+	}
+	if !tb.admit(650, time.Second) {
+		t.Fatal("one second of refill must admit 650 bytes")
+	}
+	if !tb.admit(1300, 3*time.Second) {
+		t.Fatal("two further seconds must admit 1300 bytes")
+	}
+}
+
+func TestTokenBucketRefillCappedAtBurst(t *testing.T) {
+	tb := newTokenBucket(650, 0, 0)
+	tb.admit(1460, 0)
+	if tb.admit(1461, time.Hour) {
+		t.Fatal("idle refill must cap at one burst")
+	}
+	if !tb.admit(1460, time.Hour) {
+		t.Fatal("a full burst must be available after long idle")
+	}
+}
+
+func TestTokenBucketBurstScalesWithRate(t *testing.T) {
+	// The 2021 Twitter policy (~130 kbps ≈ 16250 B/s) needs headroom above
+	// one MSS or full-sized packets would starve.
+	tb := newTokenBucket(16250, 0, 0)
+	if !tb.admit(4062, 0) {
+		t.Fatal("burst must scale to rate/4 for high policing rates")
+	}
+	if tb.admit(1, 0) {
+		t.Fatal("burst must be exactly rate/4 = 4062 bytes")
+	}
+}
+
+// --- device-level SNI-III activation and rate, on the virtual clock ---
+
+// newThrottleLab is the standard lab with the SNI-III campaign switched on
+// (§5.2: throttling was active only in the Feb 26–Mar 4 window).
+func newThrottleLab(t *testing.T) *lab {
+	t.Helper()
+	l := newLab(t, nil)
+	l.ctl.Update(func(p *Policy) { p.ThrottleActive = true })
+	return l
+}
+
+// throttleSegment builds one client→server TCP segment on the 41000→443
+// flow the activation tests use.
+func throttleSegment(l *lab, flags packet.TCPFlags, payload []byte) *packet.Packet {
+	return packet.NewTCP(l.client.Addr(), l.server.Addr(), 41000, 443, flags, 1, 0, payload)
+}
+
+func TestThrottleActivationNeedsFlagAndDomain(t *testing.T) {
+	cases := []struct {
+		name    string
+		active  bool
+		domain  string
+		trigger int
+	}{
+		{"flag on, throttled domain", true, "fbcdn.net", 1},
+		{"flag on, subdomain matches", true, "static.fbcdn.net", 1},
+		{"flag off, throttled domain", false, "fbcdn.net", 0},
+		{"flag on, unlisted domain", true, "example.org", 0},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			l := newLab(t, nil)
+			l.ctl.Update(func(p *Policy) { p.ThrottleActive = tc.active })
+			l.client.Send(throttleSegment(l, packet.FlagsPSHACK, clientHello(tc.domain)))
+			l.sim.Run()
+			if got := l.device.Stats().Triggers[SNI3]; got != tc.trigger {
+				t.Fatalf("Triggers[SNI3] = %d, want %d", got, tc.trigger)
+			}
+		})
+	}
+}
+
+func TestThrottleRateOnVirtualClock(t *testing.T) {
+	l := newThrottleLab(t)
+	var upBytes int
+	l.server.Tap(func(p *packet.Packet) {
+		if p.TCP != nil {
+			upBytes += len(p.TCP.Payload)
+		}
+	})
+	var downPayloads int
+	l.client.Tap(func(p *packet.Packet) {
+		if p.TCP != nil && len(p.TCP.Payload) > 0 {
+			downPayloads++
+		}
+	})
+
+	send := func(payload []byte) {
+		l.client.Send(throttleSegment(l, packet.FlagsPSHACK, payload))
+		l.sim.Run()
+	}
+	ch := clientHello("fbcdn.net")
+	send(ch) // trigger: delivered without debiting the bucket
+	if got := l.device.Stats().Triggers[SNI3]; got != 1 {
+		t.Fatalf("Triggers[SNI3] = %d, want 1", got)
+	}
+
+	send(make([]byte, 1460)) // full burst passes
+	send(make([]byte, 1460)) // bucket drained: policed
+	l.client.Send(throttleSegment(l, packet.FlagACK, nil))
+	l.sim.Run() // pure ACK always conforms
+
+	// Two simulated seconds refill ~1300 bytes (650 B/s on the virtual
+	// clock, plus a few bytes for the millisecond link delays).
+	l.sim.RunUntil(l.sim.Now() + 2*time.Second)
+	send(make([]byte, 1300)) // fits the refill
+	send(make([]byte, 1300)) // exceeds the remainder: policed
+
+	// Downstream is policed by the same bucket.
+	l.server.Send(packet.NewTCP(l.server.Addr(), l.client.Addr(), 443, 41000,
+		packet.FlagsPSHACK, 1, 0, make([]byte, 200)))
+	l.sim.Run()
+
+	// Long idle refills at most one burst.
+	l.sim.RunUntil(l.sim.Now() + 10*time.Second)
+	send(make([]byte, 1460))
+
+	if want := len(ch) + 1460 + 1300 + 1460; upBytes != want {
+		t.Errorf("server received %d payload bytes, want %d", upBytes, want)
+	}
+	if downPayloads != 0 {
+		t.Errorf("client received %d policed payloads, want 0", downPayloads)
+	}
+	if got := l.device.Stats().Throttled; got != 3 {
+		t.Errorf("Stats().Throttled = %d, want 3", got)
+	}
+}

@@ -1,0 +1,64 @@
+package tspu
+
+import (
+	"testing"
+	"time"
+)
+
+// TestTimeoutsPinnedToTable2 pins every default lifetime to the paper's
+// measured value. A drift here silently changes every experiment built on
+// the device, so each failure message cites the exact source row.
+func TestTimeoutsPinnedToTable2(t *testing.T) {
+	got := DefaultTimeouts()
+	rows := []struct {
+		name string
+		have time.Duration
+		want time.Duration
+		cite string
+	}{
+		{"SynSent", got.SynSent, 60 * time.Second, "Table 2 row 'TCP SYN_SENT': 60 s"},
+		{"SynRecv", got.SynRecv, 105 * time.Second, "Table 2 row 'TCP SYN_RCVD': 105 s"},
+		{"Established", got.Established, 480 * time.Second, "Table 2 row 'TCP ESTABLISHED': 480 s"},
+		{"SNI1", got.SNI1, 75 * time.Second, "Table 2 row 'SNI-I blocking state': 75 s"},
+		{"SNI2", got.SNI2, 420 * time.Second, "Table 2 row 'SNI-II blocking state': 420 s"},
+		{"SNI4", got.SNI4, 40 * time.Second, "Table 2 row 'SNI-IV blocking state': 40 s"},
+		{"QUIC", got.QUIC, 420 * time.Second, "Table 2 row 'QUIC blocking state': 420 s"},
+		{"Frag", got.Frag, 5 * time.Second, "§5.3.1: fragment queues discarded after ~5 s"},
+	}
+	for _, r := range rows {
+		if r.have != r.want {
+			t.Errorf("DefaultTimeouts().%s = %v, want %v (%s)", r.name, r.have, r.want, r.cite)
+		}
+	}
+}
+
+// TestStateTimeoutMapping pins the state→lifetime dispatch, including the
+// quirk that SNI-III throttling has no dedicated row in Table 2: its hold
+// ages like an ESTABLISHED flow.
+func TestStateTimeoutMapping(t *testing.T) {
+	to := DefaultTimeouts()
+	if got := to.forState(CTSynSent); got != to.SynSent {
+		t.Errorf("forState(SYN_SENT) = %v, want %v", got, to.SynSent)
+	}
+	if got := to.forState(CTSynRecv); got != to.SynRecv {
+		t.Errorf("forState(SYN_RCVD) = %v, want %v", got, to.SynRecv)
+	}
+	if got := to.forState(CTEstablished); got != to.Established {
+		t.Errorf("forState(ESTABLISHED) = %v, want %v", got, to.Established)
+	}
+	blocks := []struct {
+		b    BlockType
+		want time.Duration
+	}{
+		{SNI1, to.SNI1},
+		{SNI2, to.SNI2},
+		{SNI4, to.SNI4},
+		{QUICBlock, to.QUIC},
+		{SNI3, to.Established}, // no Table 2 row: falls to the default
+	}
+	for _, c := range blocks {
+		if got := to.forBlock(c.b); got != c.want {
+			t.Errorf("forBlock(%v) = %v, want %v", c.b, got, c.want)
+		}
+	}
+}
