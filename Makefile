@@ -5,7 +5,14 @@
 
 GO ?= go
 
-.PHONY: all check vet lint build test race conformance cover bench fleet-smoke fuzz-smoke
+.PHONY: all check vet lint build test race conformance cover bench bench-all bench-update fleet-smoke fuzz-smoke
+
+# Benchmarks gated by the regression harness (hot-path device benches, fleet
+# orchestration, and the ablations). BENCH_COUNT samples each; perfstat takes
+# min ns/op and max allocs across samples.
+BENCH_PATTERN = ^(BenchmarkDevice_|BenchmarkFleet_MultiSeedTable1$$|BenchmarkAblation_SNIMatch$$)
+BENCH_COUNT ?= 3
+BENCH_TIME ?= 0.2s
 
 all: check
 
@@ -47,7 +54,23 @@ cover:
 	$(GO) tool cover -func=/tmp/cover-tspu.out | awk '/^total:/ { sub(/%/,"",$$3); if ($$3+0 < 88.8) { printf "internal/tspu coverage %s%% fell below the 88.8%% gate (seed 89.3%%)\n", $$3; exit 1 }; printf "internal/tspu coverage %s%% (gate 88.8%%, seed 89.3%%)\n", $$3 }'
 	$(GO) tool cover -func=/tmp/cover-measure.out | awk '/^total:/ { sub(/%/,"",$$3); if ($$3+0 < 91.0) { printf "internal/measure coverage %s%% fell below the 91.0%% gate (seed 91.5%%)\n", $$3; exit 1 }; printf "internal/measure coverage %s%% (gate 91.0%%, seed 91.5%%)\n", $$3 }'
 
+# bench is the regression harness: run the gated benchmarks with -benchmem,
+# parse and compare against the committed baseline via tspu-bench. Fails on
+# >25% ns/op growth or ANY allocs/op or B/op increase. bench-update refreshes
+# the baseline after an intentional perf change (commit the diff).
 bench:
+	$(GO) build -o /tmp/tspu-bench ./cmd/tspu-bench
+	$(GO) test -run '^$$' -bench '$(BENCH_PATTERN)' -benchmem -count $(BENCH_COUNT) -benchtime $(BENCH_TIME) . | tee /tmp/bench-out.txt
+	/tmp/tspu-bench -in /tmp/bench-out.txt -baseline BENCH_device.json -threshold 0.25
+
+bench-update:
+	$(GO) build -o /tmp/tspu-bench ./cmd/tspu-bench
+	$(GO) test -run '^$$' -bench '$(BENCH_PATTERN)' -benchmem -count $(BENCH_COUNT) -benchtime $(BENCH_TIME) . | tee /tmp/bench-out.txt
+	/tmp/tspu-bench -in /tmp/bench-out.txt -baseline BENCH_device.json -update -note "make bench-update; compare with threshold 0.25"
+
+# bench-all runs the full unguarded suite (every table/figure regeneration
+# bench) for manual inspection.
+bench-all:
 	$(GO) test -run '^$$' -bench . -benchmem ./...
 
 # A fast end-to-end determinism check: the aggregate report must be

@@ -1,0 +1,91 @@
+// Command tspu-bench is the benchmark-regression gate. It parses `go test
+// -bench` output (stdin or -in), compares it against a committed baseline,
+// and exits nonzero when any baseline benchmark regressed — more than
+// -threshold fractional ns/op growth, or ANY increase in B/op or allocs/op
+// (allocation behavior is deterministic; there is no noise to tolerate).
+//
+// Typical use (see make bench / make bench-update):
+//
+//	go test -run '^$' -bench 'BenchmarkDevice_' -benchmem -count 3 . | tspu-bench -baseline BENCH_device.json
+//	go test -run '^$' -bench 'BenchmarkDevice_' -benchmem -count 3 . | tspu-bench -baseline BENCH_device.json -update
+//
+// tspu-bench never runs benchmarks itself: it transforms bytes to a verdict,
+// so the tool is deterministic and tspu-vet-clean by construction.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"tspusim/internal/perfstat"
+)
+
+func main() {
+	var (
+		in        = flag.String("in", "-", "bench output file, or - for stdin")
+		baseline  = flag.String("baseline", "BENCH_device.json", "baseline JSON path")
+		update    = flag.Bool("update", false, "rewrite the baseline from this run instead of comparing")
+		threshold = flag.Float64("threshold", 0.25, "allowed fractional ns/op growth (0.25 = 25%)")
+		note      = flag.String("note", "", "provenance note stored in the baseline on -update")
+	)
+	flag.Parse()
+
+	var src io.Reader = os.Stdin
+	if *in != "-" {
+		f, err := os.Open(*in)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		src = f
+	}
+	results, err := perfstat.ParseBench(src)
+	if err != nil {
+		fatal(err)
+	}
+	if len(results) == 0 {
+		fatal(fmt.Errorf("no benchmark results in input (did the bench run fail?)"))
+	}
+
+	if *update {
+		f, err := os.Create(*baseline)
+		if err != nil {
+			fatal(err)
+		}
+		if err := perfstat.WriteBaseline(f, perfstat.Baseline{Note: *note, Results: results}); err != nil {
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("tspu-bench: wrote %d benchmarks to %s\n", len(results), *baseline)
+		return
+	}
+
+	bf, err := os.Open(*baseline)
+	if err != nil {
+		fatal(fmt.Errorf("%w (run with -update to create the baseline)", err))
+	}
+	base, err := perfstat.ReadBaseline(bf)
+	bf.Close()
+	if err != nil {
+		fatal(err)
+	}
+	deltas := perfstat.Compare(base, results, *threshold)
+	for _, d := range deltas {
+		fmt.Println(d)
+	}
+	if bad := perfstat.Failures(deltas); len(bad) > 0 {
+		fmt.Fprintf(os.Stderr, "tspu-bench: %d of %d benchmarks regressed against %s (threshold %.0f%%, allocations exact)\n",
+			len(bad), len(deltas), *baseline, *threshold*100)
+		os.Exit(1)
+	}
+	fmt.Printf("tspu-bench: %d benchmarks within budget (threshold %.0f%%, allocations exact)\n", len(deltas), *threshold*100)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "tspu-bench:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,135 @@
+package packet
+
+import (
+	"bytes"
+	"net/netip"
+	"testing"
+	"testing/quick"
+)
+
+// The allocation budgets pinned here are what the device benchmarks rely on:
+// a packet round-tripped through MarshalAppend/ParseInto with recycled
+// buffers must not touch the heap, and neither may CloneInto or FlowKey4Of.
+
+func allocTestPacket() *Packet {
+	src := MustAddr("10.0.0.2")
+	dst := MustAddr("203.0.113.10")
+	payload := bytes.Repeat([]byte{0xab}, 1400)
+	p := NewTCP(src, dst, 40000, 443, FlagsPSHACK, 1000, 2000, payload)
+	p.IP.TTL = 64
+	return p
+}
+
+func TestMarshalAppendParseIntoRoundTripNoAllocs(t *testing.T) {
+	p := allocTestPacket()
+	var buf []byte
+	scratch := new(Packet)
+	// Warm up: grow buf and scratch's transport buffers once.
+	var err error
+	if buf, err = p.MarshalAppend(buf[:0]); err != nil {
+		t.Fatal(err)
+	}
+	if err := ParseInto(scratch, buf); err != nil {
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(500, func() {
+		buf, err = p.MarshalAppend(buf[:0])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := ParseInto(scratch, buf); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("Marshal/Parse round trip allocates %v/op, want 0", allocs)
+	}
+	if scratch.TCP == nil || !bytes.Equal(scratch.TCP.Payload, p.TCP.Payload) {
+		t.Fatal("round trip corrupted payload")
+	}
+}
+
+func TestCloneIntoNoAllocs(t *testing.T) {
+	p := allocTestPacket()
+	dst := new(Packet)
+	p.CloneInto(dst) // warm up: allocate dst's transport struct and slices
+	allocs := testing.AllocsPerRun(500, func() {
+		p.CloneInto(dst)
+	})
+	if allocs != 0 {
+		t.Fatalf("CloneInto allocates %v/op, want 0", allocs)
+	}
+	if !bytes.Equal(dst.TCP.Payload, p.TCP.Payload) || dst.TCP.SrcPort != p.TCP.SrcPort {
+		t.Fatal("CloneInto corrupted packet")
+	}
+	// Deep copy: mutating the clone must not touch the original.
+	dst.TCP.Payload[0] ^= 0xff
+	if p.TCP.Payload[0] == dst.TCP.Payload[0] {
+		t.Fatal("CloneInto aliased the payload")
+	}
+}
+
+func TestCloneIntoPreservesRawPayloadNilness(t *testing.T) {
+	p := allocTestPacket()
+	dst := new(Packet)
+	dst.RawPayload = []byte{1, 2, 3}
+	p.CloneInto(dst)
+	if dst.RawPayload != nil {
+		t.Fatal("CloneInto left stale RawPayload on a nil-RawPayload source")
+	}
+}
+
+func TestFlowKey4OfNoAllocs(t *testing.T) {
+	p := allocTestPacket()
+	allocs := testing.AllocsPerRun(500, func() {
+		_ = FlowKey4Of(p)
+	})
+	if allocs != 0 {
+		t.Fatalf("FlowKey4Of allocates %v/op, want 0", allocs)
+	}
+}
+
+// TestFlowKey4Equivalence property-checks that FlowKey4 partitions packets
+// into exactly the equivalence classes of FlowOf(p).Canonical(): two IPv4
+// packets share a compact key iff they share a canonical FlowKey.
+func TestFlowKey4Equivalence(t *testing.T) {
+	mk := func(a, b [4]byte, sp, dp uint16, proto uint8, udp bool) *Packet {
+		src := netip.AddrFrom4(a)
+		dst := netip.AddrFrom4(b)
+		if udp {
+			return NewUDP(src, dst, sp, dp, nil)
+		}
+		p := NewTCP(src, dst, sp, dp, FlagSYN, 1, 0, nil)
+		_ = proto
+		return p
+	}
+	f := func(a1, a2 [4]byte, sp1, dp1, sp2, dp2 uint16, udp1, udp2 bool) bool {
+		p1 := mk(a1, a2, sp1, dp1, 0, udp1)
+		p2 := mk(a2, a1, sp2, dp2, 0, udp2)
+		sameSlow := FlowOf(p1).Canonical() == FlowOf(p2).Canonical()
+		sameFast := FlowKey4Of(p1) == FlowKey4Of(p2)
+		return sameSlow == sameFast
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 5000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestFlowKey4DirectionIndependent pins the canonicalization directly: a
+// packet and its reversed twin share a key; distinct flows do not.
+func TestFlowKey4DirectionIndependent(t *testing.T) {
+	a, b := MustAddr("10.0.0.2"), MustAddr("203.0.113.10")
+	fwd := NewTCP(a, b, 40000, 443, FlagSYN, 1, 0, nil)
+	rev := NewTCP(b, a, 443, 40000, FlagsSYNACK, 1, 2, nil)
+	if FlowKey4Of(fwd) != FlowKey4Of(rev) {
+		t.Fatal("two directions of one flow got different keys")
+	}
+	other := NewTCP(a, b, 40001, 443, FlagSYN, 1, 0, nil)
+	if FlowKey4Of(fwd) == FlowKey4Of(other) {
+		t.Fatal("distinct flows collided")
+	}
+	u := NewUDP(a, b, 40000, 443, nil)
+	if FlowKey4Of(fwd) == FlowKey4Of(u) {
+		t.Fatal("TCP and UDP flows on the same tuple collided")
+	}
+}

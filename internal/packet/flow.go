@@ -1,6 +1,7 @@
 package packet
 
 import (
+	"encoding/binary"
 	"fmt"
 	"net/netip"
 )
@@ -48,6 +49,45 @@ func (k FlowKey) Canonical() FlowKey {
 
 func (k FlowKey) String() string {
 	return fmt.Sprintf("%s %s:%d>%s:%d", k.Proto, k.Src, k.SrcPort, k.Dst, k.DstPort)
+}
+
+// FlowKey4 is a compact, direction-independent IPv4 flow key: the full
+// 5-tuple packed into 16 bytes with the lower (addr, port) endpoint first.
+// It identifies exactly the same equivalence classes as
+// FlowOf(p).Canonical() for IPv4 packets (the only kind this module models)
+// but hashes and compares as two machine words instead of a 56-byte struct
+// holding netip.Addr values, which is what makes it the conntrack map key on
+// the per-packet hot path.
+type FlowKey4 struct {
+	// hi is src<<32|dst of the canonical direction; lo packs
+	// proto<<32|srcPort<<16|dstPort.
+	hi, lo uint64
+}
+
+// addr4 returns the big-endian uint32 form of an IPv4 (or 4-in-6) address.
+// Non-IPv4 addresses (including the zero Addr) fold to 0 rather than
+// panicking: they cannot occur in simulator-built traffic, and a middlebox
+// must not crash on garbage.
+func addr4(a netip.Addr) uint32 {
+	if a.Is4() || a.Is4In6() {
+		b := a.As4()
+		return binary.BigEndian.Uint32(b[:])
+	}
+	return 0
+}
+
+// FlowKey4Of extracts the canonical compact flow key of a packet.
+func FlowKey4Of(p *Packet) FlowKey4 {
+	src, dst := addr4(p.IP.Src), addr4(p.IP.Dst)
+	sp, dp := p.SrcPort(), p.DstPort()
+	if src > dst || (src == dst && sp > dp) {
+		src, dst = dst, src
+		sp, dp = dp, sp
+	}
+	return FlowKey4{
+		hi: uint64(src)<<32 | uint64(dst),
+		lo: uint64(p.IP.Protocol)<<32 | uint64(sp)<<16 | uint64(dp),
+	}
 }
 
 // FragKey identifies a fragment queue. Per §5.3.1 the TSPU keys its fragment

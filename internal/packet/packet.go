@@ -148,25 +148,61 @@ type Packet struct {
 // Clone deep-copies the packet so middleboxes can mutate their copy without
 // aliasing the sender's buffers.
 func (p *Packet) Clone() *Packet {
-	q := &Packet{IP: p.IP}
+	q := &Packet{}
+	p.CloneInto(q)
+	return q
+}
+
+// CloneInto deep-copies p into dst, reusing dst's transport structs and the
+// capacity of its byte slices. A caller cycling packets through a scratch
+// Packet pays no allocations once the scratch buffers have grown to the
+// working set's payload sizes.
+func (p *Packet) CloneInto(dst *Packet) {
+	dst.IP = p.IP
 	if p.TCP != nil {
-		t := *p.TCP
-		t.Options = append([]byte(nil), p.TCP.Options...)
-		t.Payload = append([]byte(nil), p.TCP.Payload...)
-		q.TCP = &t
+		t := dst.TCP
+		if t == nil {
+			t = new(TCP)
+		}
+		opts, pay := t.Options[:0], t.Payload[:0]
+		*t = *p.TCP
+		t.Options = append(opts, p.TCP.Options...)
+		t.Payload = append(pay, p.TCP.Payload...)
+		dst.TCP = t
+	} else {
+		dst.TCP = nil
 	}
 	if p.UDP != nil {
-		u := *p.UDP
-		u.Payload = append([]byte(nil), p.UDP.Payload...)
-		q.UDP = &u
+		u := dst.UDP
+		if u == nil {
+			u = new(UDP)
+		}
+		pay := u.Payload[:0]
+		*u = *p.UDP
+		u.Payload = append(pay, p.UDP.Payload...)
+		dst.UDP = u
+	} else {
+		dst.UDP = nil
 	}
 	if p.ICMP != nil {
-		ic := *p.ICMP
-		ic.Payload = append([]byte(nil), p.ICMP.Payload...)
-		q.ICMP = &ic
+		ic := dst.ICMP
+		if ic == nil {
+			ic = new(ICMP)
+		}
+		pay := ic.Payload[:0]
+		*ic = *p.ICMP
+		ic.Payload = append(pay, p.ICMP.Payload...)
+		dst.ICMP = ic
+	} else {
+		dst.ICMP = nil
 	}
-	q.RawPayload = append([]byte(nil), p.RawPayload...)
-	return q
+	if p.RawPayload == nil {
+		// Preserve nil-ness: consumers distinguish "no raw payload" (nil)
+		// from a zero-length one.
+		dst.RawPayload = nil
+	} else {
+		dst.RawPayload = append(dst.RawPayload[:0], p.RawPayload...)
+	}
 }
 
 // IsFragment reports whether the packet is part of a fragmented IP packet

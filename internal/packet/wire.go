@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"net/netip"
+	"slices"
 )
 
 // Errors returned by Parse.
@@ -18,19 +19,23 @@ var (
 // Marshal serializes the packet to wire bytes with valid IP and transport
 // checksums. Non-first fragments marshal their RawPayload verbatim.
 func (p *Packet) Marshal() ([]byte, error) {
-	payload, err := p.marshalTransport()
+	return p.MarshalAppend(nil)
+}
+
+// MarshalAppend appends the packet's wire bytes to dst and returns the
+// extended slice. It is the allocation-free serialization path: a caller
+// that recycles dst (b = b[:0]) pays nothing once the buffer has grown to
+// the working packet size. All header bytes are written explicitly, so dst's
+// stale contents never leak into the output.
+func (p *Packet) MarshalAppend(dst []byte) ([]byte, error) {
+	plen, err := p.wirePayloadLen()
 	if err != nil {
 		return nil, err
 	}
-	total := 20 + len(payload)
+	total := 20 + plen
 	if total > 65535 {
 		return nil, fmt.Errorf("packet: total length %d exceeds 65535", total)
 	}
-	b := make([]byte, total)
-	b[0] = 0x45 // version 4, IHL 5
-	b[1] = p.IP.TOS
-	binary.BigEndian.PutUint16(b[2:4], uint16(total))
-	binary.BigEndian.PutUint16(b[4:6], p.IP.ID)
 	frag := p.IP.FragOffset / 8
 	if p.IP.FragOffset%8 != 0 {
 		return nil, fmt.Errorf("packet: fragment offset %d not multiple of 8", p.IP.FragOffset)
@@ -38,6 +43,14 @@ func (p *Packet) Marshal() ([]byte, error) {
 	if frag > 0x1fff {
 		return nil, fmt.Errorf("packet: fragment offset %d too large", p.IP.FragOffset)
 	}
+
+	base := len(dst)
+	dst = slices.Grow(dst, total)[:base+total]
+	b := dst[base:]
+	b[0] = 0x45 // version 4, IHL 5
+	b[1] = p.IP.TOS
+	binary.BigEndian.PutUint16(b[2:4], uint16(total))
+	binary.BigEndian.PutUint16(b[4:6], p.IP.ID)
 	flagsFrag := frag
 	if p.IP.DF {
 		flagsFrag |= 0x4000
@@ -49,42 +62,80 @@ func (p *Packet) Marshal() ([]byte, error) {
 	b[8] = p.IP.TTL
 	b[9] = uint8(p.IP.Protocol)
 	src := p.IP.Src.As4()
-	dst := p.IP.Dst.As4()
+	dstAddr := p.IP.Dst.As4()
 	copy(b[12:16], src[:])
-	copy(b[16:20], dst[:])
+	copy(b[16:20], dstAddr[:])
 	binary.BigEndian.PutUint16(b[10:12], 0)
 	binary.BigEndian.PutUint16(b[10:12], checksum(b[:20]))
-	copy(b[20:], payload)
-	return b, nil
+	p.marshalTransportInto(b[20:])
+	return dst, nil
 }
 
-func (p *Packet) marshalTransport() ([]byte, error) {
+// wirePayloadLen returns the transport-payload length Marshal will emit,
+// validating the transport-level invariants up front so marshalTransportInto
+// can write without error paths.
+func (p *Packet) wirePayloadLen() (int, error) {
 	if p.IP.FragOffset != 0 {
 		// Non-first fragment: opaque payload bytes.
-		return p.RawPayload, nil
+		return len(p.RawPayload), nil
 	}
 	switch {
 	case p.TCP != nil:
-		return p.marshalTCP()
+		t := p.TCP
+		if len(t.Options)%4 != 0 {
+			return 0, fmt.Errorf("packet: TCP options length %d not multiple of 4", len(t.Options))
+		}
+		if len(t.Options) > 40 {
+			return 0, fmt.Errorf("packet: TCP options too long (%d bytes)", len(t.Options))
+		}
+		return 20 + len(t.Options) + len(t.Payload), nil
 	case p.UDP != nil:
-		return p.marshalUDP()
+		if 8+len(p.UDP.Payload) > 65535 {
+			return 0, fmt.Errorf("packet: UDP payload too long")
+		}
+		return 8 + len(p.UDP.Payload), nil
 	case p.ICMP != nil:
-		return p.marshalICMP()
+		return 8 + len(p.ICMP.Payload), nil
 	default:
-		return p.RawPayload, nil
+		return len(p.RawPayload), nil
 	}
 }
 
-func (p *Packet) marshalTCP() ([]byte, error) {
+// marshalTransport returns the transport segment bytes (header, options,
+// payload, valid checksum) without the IP header — the unit the fragmenter
+// slices into 8-byte-aligned pieces.
+func (p *Packet) marshalTransport() ([]byte, error) {
+	plen, err := p.wirePayloadLen()
+	if err != nil {
+		return nil, err
+	}
+	b := make([]byte, plen)
+	p.marshalTransportInto(b)
+	return b, nil
+}
+
+// marshalTransportInto writes the transport bytes into b, which has exactly
+// the length wirePayloadLen reported. Validation already happened there.
+func (p *Packet) marshalTransportInto(b []byte) {
+	if p.IP.FragOffset != 0 {
+		copy(b, p.RawPayload)
+		return
+	}
+	switch {
+	case p.TCP != nil:
+		p.marshalTCPInto(b)
+	case p.UDP != nil:
+		p.marshalUDPInto(b)
+	case p.ICMP != nil:
+		p.marshalICMPInto(b)
+	default:
+		copy(b, p.RawPayload)
+	}
+}
+
+func (p *Packet) marshalTCPInto(b []byte) {
 	t := p.TCP
-	if len(t.Options)%4 != 0 {
-		return nil, fmt.Errorf("packet: TCP options length %d not multiple of 4", len(t.Options))
-	}
-	if len(t.Options) > 40 {
-		return nil, fmt.Errorf("packet: TCP options too long (%d bytes)", len(t.Options))
-	}
 	hlen := 20 + len(t.Options)
-	b := make([]byte, hlen+len(t.Payload))
 	binary.BigEndian.PutUint16(b[0:2], t.SrcPort)
 	binary.BigEndian.PutUint16(b[2:4], t.DstPort)
 	binary.BigEndian.PutUint32(b[4:8], t.Seq)
@@ -92,66 +143,73 @@ func (p *Packet) marshalTCP() ([]byte, error) {
 	b[12] = uint8(hlen/4) << 4
 	b[13] = uint8(t.Flags)
 	binary.BigEndian.PutUint16(b[14:16], t.Window)
+	binary.BigEndian.PutUint16(b[16:18], 0)
 	binary.BigEndian.PutUint16(b[18:20], t.Urgent)
 	copy(b[20:], t.Options)
 	copy(b[hlen:], t.Payload)
 	cs := pseudoChecksum(p.IP.Src, p.IP.Dst, ProtoTCP, b)
 	binary.BigEndian.PutUint16(b[16:18], cs)
-	return b, nil
 }
 
-func (p *Packet) marshalUDP() ([]byte, error) {
+func (p *Packet) marshalUDPInto(b []byte) {
 	u := p.UDP
-	if 8+len(u.Payload) > 65535 {
-		return nil, fmt.Errorf("packet: UDP payload too long")
-	}
-	b := make([]byte, 8+len(u.Payload))
 	binary.BigEndian.PutUint16(b[0:2], u.SrcPort)
 	binary.BigEndian.PutUint16(b[2:4], u.DstPort)
 	binary.BigEndian.PutUint16(b[4:6], uint16(len(b)))
+	binary.BigEndian.PutUint16(b[6:8], 0)
 	copy(b[8:], u.Payload)
 	cs := pseudoChecksum(p.IP.Src, p.IP.Dst, ProtoUDP, b)
 	if cs == 0 {
 		cs = 0xffff // RFC 768: zero checksum means "none"; transmit as all-ones
 	}
 	binary.BigEndian.PutUint16(b[6:8], cs)
-	return b, nil
 }
 
-func (p *Packet) marshalICMP() ([]byte, error) {
+func (p *Packet) marshalICMPInto(b []byte) {
 	ic := p.ICMP
-	b := make([]byte, 8+len(ic.Payload))
 	b[0] = uint8(ic.Type)
 	b[1] = ic.Code
+	binary.BigEndian.PutUint16(b[2:4], 0)
 	binary.BigEndian.PutUint16(b[4:6], ic.ID)
 	binary.BigEndian.PutUint16(b[6:8], ic.Seq)
 	copy(b[8:], ic.Payload)
 	binary.BigEndian.PutUint16(b[2:4], checksum(b))
-	return b, nil
 }
 
 // Parse decodes wire bytes into a Packet, verifying the IP header checksum
 // and, for zero-offset packets, the transport checksum.
 func Parse(b []byte) (*Packet, error) {
+	p := new(Packet)
+	if err := ParseInto(p, b); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+// ParseInto decodes wire bytes into p, reusing p's transport structs and the
+// capacity of its payload slices: parsing a stream of packets through one
+// scratch Packet is allocation-free once its buffers have grown. On error p
+// is left in an unspecified state.
+func ParseInto(p *Packet, b []byte) error {
 	if len(b) < 20 {
-		return nil, ErrTruncated
+		return ErrTruncated
 	}
 	if b[0]>>4 != 4 {
-		return nil, ErrBadVersion
+		return ErrBadVersion
 	}
 	ihl := int(b[0]&0x0f) * 4
 	if ihl < 20 || len(b) < ihl {
-		return nil, ErrBadHeader
+		return ErrBadHeader
 	}
 	if checksum(b[:ihl]) != 0 {
-		return nil, fmt.Errorf("%w: IP header", ErrBadChecksum)
+		return fmt.Errorf("%w: IP header", ErrBadChecksum)
 	}
 	total := int(binary.BigEndian.Uint16(b[2:4]))
 	if total < ihl || total > len(b) {
-		return nil, fmt.Errorf("%w: total length %d", ErrBadHeader, total)
+		return fmt.Errorf("%w: total length %d", ErrBadHeader, total)
 	}
 	flagsFrag := binary.BigEndian.Uint16(b[6:8])
-	p := &Packet{IP: IPv4{
+	p.IP = IPv4{
 		TOS:        b[1],
 		ID:         binary.BigEndian.Uint16(b[4:6]),
 		DF:         flagsFrag&0x4000 != 0,
@@ -161,43 +219,52 @@ func Parse(b []byte) (*Packet, error) {
 		Protocol:   Protocol(b[9]),
 		Src:        netip.AddrFrom4([4]byte(b[12:16])),
 		Dst:        netip.AddrFrom4([4]byte(b[16:20])),
-	}}
+	}
 	payload := b[ihl:total]
 	if p.IP.FragOffset != 0 {
-		p.RawPayload = append([]byte(nil), payload...)
-		return p, nil
+		p.TCP, p.UDP, p.ICMP = nil, nil, nil
+		p.RawPayload = append(p.RawPayload[:0], payload...)
+		return nil
 	}
-	var err error
 	switch p.IP.Protocol {
 	case ProtoTCP:
-		err = p.parseTCP(payload)
+		p.UDP, p.ICMP, p.RawPayload = nil, nil, nil
+		return p.parseTCP(payload)
 	case ProtoUDP:
-		err = p.parseUDP(payload)
+		p.TCP, p.ICMP, p.RawPayload = nil, nil, nil
+		return p.parseUDP(payload)
 	case ProtoICMP:
-		err = p.parseICMP(payload)
+		p.TCP, p.UDP, p.RawPayload = nil, nil, nil
+		return p.parseICMP(payload)
 	default:
-		p.RawPayload = append([]byte(nil), payload...)
+		p.TCP, p.UDP, p.ICMP = nil, nil, nil
+		p.RawPayload = append(p.RawPayload[:0], payload...)
 	}
-	if err != nil {
-		return nil, err
-	}
-	return p, nil
+	return nil
 }
 
 func (p *Packet) parseTCP(b []byte) error {
 	if len(b) < 20 {
+		p.TCP = nil
 		return fmt.Errorf("%w: TCP header", ErrTruncated)
 	}
 	doff := int(b[12]>>4) * 4
 	if doff < 20 || doff > len(b) {
+		p.TCP = nil
 		return fmt.Errorf("%w: TCP data offset %d", ErrBadHeader, doff)
 	}
 	// Only verify the transport checksum on unfragmented packets: a
 	// first-fragment's TCP checksum covers bytes not present here.
 	if !p.IP.MF && pseudoChecksum(p.IP.Src, p.IP.Dst, ProtoTCP, b) != 0 {
+		p.TCP = nil
 		return fmt.Errorf("%w: TCP", ErrBadChecksum)
 	}
-	p.TCP = &TCP{
+	t := p.TCP
+	if t == nil {
+		t = new(TCP)
+	}
+	opts, pay := t.Options[:0], t.Payload[:0]
+	*t = TCP{
 		SrcPort: binary.BigEndian.Uint16(b[0:2]),
 		DstPort: binary.BigEndian.Uint16(b[2:4]),
 		Seq:     binary.BigEndian.Uint32(b[4:8]),
@@ -205,47 +272,65 @@ func (p *Packet) parseTCP(b []byte) error {
 		Flags:   TCPFlags(b[13]),
 		Window:  binary.BigEndian.Uint16(b[14:16]),
 		Urgent:  binary.BigEndian.Uint16(b[18:20]),
-		Options: append([]byte(nil), b[20:doff]...),
-		Payload: append([]byte(nil), b[doff:]...),
+		Options: append(opts, b[20:doff]...),
+		Payload: append(pay, b[doff:]...),
 	}
+	p.TCP = t
 	return nil
 }
 
 func (p *Packet) parseUDP(b []byte) error {
 	if len(b) < 8 {
+		p.UDP = nil
 		return fmt.Errorf("%w: UDP header", ErrTruncated)
 	}
 	ulen := int(binary.BigEndian.Uint16(b[4:6]))
 	if ulen < 8 || ulen > len(b) {
+		p.UDP = nil
 		return fmt.Errorf("%w: UDP length %d", ErrBadHeader, ulen)
 	}
 	if cs := binary.BigEndian.Uint16(b[6:8]); cs != 0 && !p.IP.MF {
 		if pseudoChecksum(p.IP.Src, p.IP.Dst, ProtoUDP, b[:ulen]) != 0 {
+			p.UDP = nil
 			return fmt.Errorf("%w: UDP", ErrBadChecksum)
 		}
 	}
-	p.UDP = &UDP{
+	u := p.UDP
+	if u == nil {
+		u = new(UDP)
+	}
+	pay := u.Payload[:0]
+	*u = UDP{
 		SrcPort: binary.BigEndian.Uint16(b[0:2]),
 		DstPort: binary.BigEndian.Uint16(b[2:4]),
-		Payload: append([]byte(nil), b[8:ulen]...),
+		Payload: append(pay, b[8:ulen]...),
 	}
+	p.UDP = u
 	return nil
 }
 
 func (p *Packet) parseICMP(b []byte) error {
 	if len(b) < 8 {
+		p.ICMP = nil
 		return fmt.Errorf("%w: ICMP header", ErrTruncated)
 	}
 	if checksum(b) != 0 {
+		p.ICMP = nil
 		return fmt.Errorf("%w: ICMP", ErrBadChecksum)
 	}
-	p.ICMP = &ICMP{
+	ic := p.ICMP
+	if ic == nil {
+		ic = new(ICMP)
+	}
+	pay := ic.Payload[:0]
+	*ic = ICMP{
 		Type:    ICMPType(b[0]),
 		Code:    b[1],
 		ID:      binary.BigEndian.Uint16(b[4:6]),
 		Seq:     binary.BigEndian.Uint16(b[6:8]),
-		Payload: append([]byte(nil), b[8:]...),
+		Payload: append(pay, b[8:]...),
 	}
+	p.ICMP = ic
 	return nil
 }
 

@@ -1,0 +1,250 @@
+// Package perfstat is the benchmark-regression harness: it parses `go test
+// -bench` output into structured results, persists a baseline as sorted JSON,
+// and compares a fresh run against the baseline under a configurable
+// threshold. The policy it enforces mirrors the tentpole's contract — time
+// may drift within a tolerance (CI machines jitter), but allocation counts
+// are exact and may never regress at all: an allocs/op increase on a pinned-
+// zero benchmark is a broken invariant, not noise.
+//
+// The package never executes benchmarks or reads clocks itself; it consumes
+// text produced elsewhere (make bench pipes `go test -bench` through
+// cmd/tspu-bench). That keeps it trivially deterministic: same input bytes,
+// same verdict.
+package perfstat
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Result is one benchmark's aggregated measurements.
+type Result struct {
+	// Name is the benchmark name with the -N GOMAXPROCS suffix stripped.
+	Name string `json:"name"`
+	// NsPerOp is the minimum ns/op across samples: the least-noisy estimate
+	// of the code's true cost, standard for regression gating.
+	NsPerOp float64 `json:"ns_per_op"`
+	// BytesPerOp and AllocsPerOp are the maximum across samples: allocation
+	// behavior is deterministic, so any sample exceeding the baseline is a
+	// real regression, not scheduling noise.
+	BytesPerOp  float64 `json:"bytes_per_op"`
+	AllocsPerOp float64 `json:"allocs_per_op"`
+	// Samples counts how many lines were aggregated (go test -count=N).
+	Samples int `json:"samples"`
+}
+
+// ParseBench reads `go test -bench` output and aggregates per-benchmark
+// samples. Lines that are not benchmark results (headers, PASS, pkg lines)
+// are ignored.
+func ParseBench(r io.Reader) ([]Result, error) {
+	agg := make(map[string]*Result)
+	var order []string
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	for sc.Scan() {
+		line := sc.Text()
+		if !strings.HasPrefix(line, "Benchmark") {
+			continue
+		}
+		fields := strings.Fields(line)
+		// Name, iterations, then value/unit pairs.
+		if len(fields) < 4 {
+			continue
+		}
+		name := trimProcSuffix(fields[0])
+		if _, err := strconv.Atoi(fields[1]); err != nil {
+			continue // not a result line
+		}
+		res, ok := agg[name]
+		if !ok {
+			res = &Result{Name: name}
+			agg[name] = res
+			order = append(order, name)
+		}
+		res.Samples++
+		for i := 2; i+1 < len(fields); i += 2 {
+			val, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				continue
+			}
+			switch fields[i+1] {
+			case "ns/op":
+				if res.Samples == 1 || val < res.NsPerOp {
+					res.NsPerOp = val
+				}
+			case "B/op":
+				if val > res.BytesPerOp {
+					res.BytesPerOp = val
+				}
+			case "allocs/op":
+				if val > res.AllocsPerOp {
+					res.AllocsPerOp = val
+				}
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("perfstat: reading bench output: %w", err)
+	}
+	out := make([]Result, 0, len(order))
+	for _, name := range order {
+		out = append(out, *agg[name])
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out, nil
+}
+
+// trimProcSuffix strips the trailing -N GOMAXPROCS marker go test appends.
+func trimProcSuffix(name string) string {
+	i := strings.LastIndexByte(name, '-')
+	if i < 0 {
+		return name
+	}
+	if _, err := strconv.Atoi(name[i+1:]); err != nil {
+		return name
+	}
+	return name[:i]
+}
+
+// Baseline is the committed reference a fresh run is compared against.
+type Baseline struct {
+	// Note documents provenance for humans reading the JSON; the harness
+	// ignores it.
+	Note    string   `json:"note,omitempty"`
+	Results []Result `json:"results"`
+}
+
+// WriteBaseline renders the baseline as stable, indented JSON (results
+// sorted by name).
+func WriteBaseline(w io.Writer, b Baseline) error {
+	sort.Slice(b.Results, func(i, j int) bool { return b.Results[i].Name < b.Results[j].Name })
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(b)
+}
+
+// ReadBaseline parses a baseline written by WriteBaseline.
+func ReadBaseline(r io.Reader) (Baseline, error) {
+	var b Baseline
+	if err := json.NewDecoder(r).Decode(&b); err != nil {
+		return Baseline{}, fmt.Errorf("perfstat: parsing baseline: %w", err)
+	}
+	return b, nil
+}
+
+// Verdict classifies one benchmark's comparison.
+type Verdict int
+
+// Verdicts, from benign to fatal.
+const (
+	OK Verdict = iota
+	// Improved means ns/op got meaningfully faster (candidate for a baseline
+	// refresh).
+	Improved
+	// Missing means the baseline names a benchmark the fresh run lacks — a
+	// silently deleted benchmark must fail the gate, or the harness rots.
+	Missing
+	// TimeRegressed means ns/op exceeded baseline by more than the threshold.
+	TimeRegressed
+	// AllocRegressed means B/op or allocs/op exceeded the baseline at all.
+	AllocRegressed
+)
+
+func (v Verdict) String() string {
+	switch v {
+	case OK:
+		return "ok"
+	case Improved:
+		return "improved"
+	case Missing:
+		return "missing"
+	case TimeRegressed:
+		return "time-regressed"
+	case AllocRegressed:
+		return "alloc-regressed"
+	}
+	return "?"
+}
+
+// Delta is one benchmark's comparison against the baseline.
+type Delta struct {
+	Name     string
+	Verdict  Verdict
+	Old, New Result
+	// NsRatio is new/old ns/op (0 when old is 0).
+	NsRatio float64
+}
+
+func (d Delta) String() string {
+	switch d.Verdict {
+	case Missing:
+		return fmt.Sprintf("%-45s %s (in baseline, not in run)", d.Name, d.Verdict)
+	default:
+		return fmt.Sprintf("%-45s %s ns/op %.1f -> %.1f (%.2fx) allocs %g -> %g",
+			d.Name, d.Verdict, d.Old.NsPerOp, d.New.NsPerOp, d.NsRatio,
+			d.Old.AllocsPerOp, d.New.AllocsPerOp)
+	}
+}
+
+// allocSlack is the fractional headroom on B/op and allocs/op comparisons.
+// It exists only for concurrent benchmarks whose counts jitter by parts per
+// million with goroutine scheduling (the fleet sweeps); for the hot-path
+// benchmarks pinned at zero it changes nothing — 0 × 1.01 is still 0, so any
+// allocation at all remains a failure.
+const allocSlack = 0.01
+
+// Compare evaluates fresh results against the baseline. threshold is the
+// allowed fractional ns/op growth (0.25 allows 25%); allocation regressions
+// get only allocSlack, and zero-alloc baselines are exact. Benchmarks present
+// only in the fresh run are ignored — adding a benchmark must not require
+// touching the baseline in the same change — but every baseline entry must be
+// present in the run.
+func Compare(base Baseline, fresh []Result, threshold float64) []Delta {
+	byName := make(map[string]Result, len(fresh))
+	for _, r := range fresh {
+		byName[r.Name] = r
+	}
+	deltas := make([]Delta, 0, len(base.Results))
+	for _, old := range base.Results {
+		d := Delta{Name: old.Name, Old: old}
+		cur, ok := byName[old.Name]
+		if !ok {
+			d.Verdict = Missing
+			deltas = append(deltas, d)
+			continue
+		}
+		d.New = cur
+		if old.NsPerOp > 0 {
+			d.NsRatio = cur.NsPerOp / old.NsPerOp
+		}
+		switch {
+		case cur.AllocsPerOp > old.AllocsPerOp*(1+allocSlack) || cur.BytesPerOp > old.BytesPerOp*(1+allocSlack):
+			d.Verdict = AllocRegressed
+		case old.NsPerOp > 0 && d.NsRatio > 1+threshold:
+			d.Verdict = TimeRegressed
+		case old.NsPerOp > 0 && d.NsRatio < 1-threshold:
+			d.Verdict = Improved
+		default:
+			d.Verdict = OK
+		}
+		deltas = append(deltas, d)
+	}
+	return deltas
+}
+
+// Failures filters deltas down to the ones that must fail a CI gate.
+func Failures(deltas []Delta) []Delta {
+	var bad []Delta
+	for _, d := range deltas {
+		switch d.Verdict {
+		case Missing, TimeRegressed, AllocRegressed:
+			bad = append(bad, d)
+		}
+	}
+	return bad
+}

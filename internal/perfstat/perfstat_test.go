@@ -1,0 +1,188 @@
+package perfstat
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+const sampleBench = `goos: linux
+goarch: amd64
+pkg: tspusim
+cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
+BenchmarkDevice_PassThroughData  	25691485	        46.83 ns/op	       0 B/op	       0 allocs/op
+BenchmarkDevice_PassThroughData  	25000000	        48.10 ns/op	       0 B/op	       0 allocs/op
+BenchmarkDevice_ManyFlows-8      	24381603	        47.83 ns/op	       0 B/op	       0 allocs/op
+BenchmarkAblation_SNIMatch/structural-parse-8 	 8000000	       150.0 ns/op	      64 B/op	       2 allocs/op
+BenchmarkFleet_AllExperiments/workers=8          	      12	  90000000 ns/op	        3.100 speedup
+PASS
+ok  	tspusim	3.761s
+`
+
+func TestParseBench(t *testing.T) {
+	results, err := ParseBench(strings.NewReader(sampleBench))
+	if err != nil {
+		t.Fatal(err)
+	}
+	byName := map[string]Result{}
+	for _, r := range results {
+		byName[r.Name] = r
+	}
+	pt, ok := byName["BenchmarkDevice_PassThroughData"]
+	if !ok {
+		t.Fatalf("PassThroughData missing from %v", results)
+	}
+	if pt.Samples != 2 {
+		t.Fatalf("samples = %d, want 2", pt.Samples)
+	}
+	if pt.NsPerOp != 46.83 {
+		t.Fatalf("ns/op = %v, want min 46.83", pt.NsPerOp)
+	}
+	if pt.AllocsPerOp != 0 || pt.BytesPerOp != 0 {
+		t.Fatalf("allocs = %v B = %v, want 0", pt.AllocsPerOp, pt.BytesPerOp)
+	}
+	if _, ok := byName["BenchmarkDevice_ManyFlows"]; !ok {
+		t.Fatal("GOMAXPROCS suffix not stripped")
+	}
+	sub, ok := byName["BenchmarkAblation_SNIMatch/structural-parse"]
+	if !ok {
+		t.Fatal("sub-benchmark name not parsed")
+	}
+	if sub.AllocsPerOp != 2 || sub.BytesPerOp != 64 {
+		t.Fatalf("sub-benchmark mem = %v/%v", sub.BytesPerOp, sub.AllocsPerOp)
+	}
+	// Custom metrics (speedup) must not corrupt parsing.
+	if fl := byName["BenchmarkFleet_AllExperiments/workers=8"]; fl.NsPerOp != 90000000 {
+		t.Fatalf("fleet ns/op = %v", fl.NsPerOp)
+	}
+	// Results are sorted by name.
+	for i := 1; i < len(results); i++ {
+		if results[i-1].Name >= results[i].Name {
+			t.Fatal("results not sorted")
+		}
+	}
+}
+
+func TestBaselineRoundTrip(t *testing.T) {
+	results, err := ParseBench(strings.NewReader(sampleBench))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteBaseline(&buf, Baseline{Note: "test", Results: results}); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadBaseline(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Note != "test" || len(got.Results) != len(results) {
+		t.Fatalf("round trip lost data: %+v", got)
+	}
+	for i := range results {
+		if got.Results[i] != results[i] {
+			t.Fatalf("result %d: %+v != %+v", i, got.Results[i], results[i])
+		}
+	}
+	// Writing twice yields identical bytes (stable ordering).
+	var buf2 bytes.Buffer
+	if err := WriteBaseline(&buf2, got); err != nil {
+		t.Fatal(err)
+	}
+	var buf3 bytes.Buffer
+	if err := WriteBaseline(&buf3, got); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf2.Bytes(), buf3.Bytes()) {
+		t.Fatal("baseline serialization not stable")
+	}
+}
+
+func TestCompareVerdicts(t *testing.T) {
+	base := Baseline{Results: []Result{
+		{Name: "A", NsPerOp: 100, AllocsPerOp: 0},
+		{Name: "B", NsPerOp: 100, AllocsPerOp: 0},
+		{Name: "C", NsPerOp: 100, AllocsPerOp: 2, BytesPerOp: 64},
+		{Name: "D", NsPerOp: 100, AllocsPerOp: 0},
+		{Name: "E", NsPerOp: 100, AllocsPerOp: 0},
+	}}
+	fresh := []Result{
+		{Name: "A", NsPerOp: 110, AllocsPerOp: 0},                // within 25%
+		{Name: "B", NsPerOp: 140, AllocsPerOp: 0},                // time regression
+		{Name: "C", NsPerOp: 90, AllocsPerOp: 3, BytesPerOp: 64}, // alloc regression
+		{Name: "D", NsPerOp: 50, AllocsPerOp: 0},                 // improved
+		// E missing
+		{Name: "F", NsPerOp: 10, AllocsPerOp: 9}, // new benchmark: ignored
+	}
+	deltas := Compare(base, fresh, 0.25)
+	want := map[string]Verdict{
+		"A": OK, "B": TimeRegressed, "C": AllocRegressed, "D": Improved, "E": Missing,
+	}
+	if len(deltas) != len(want) {
+		t.Fatalf("got %d deltas, want %d", len(deltas), len(want))
+	}
+	for _, d := range deltas {
+		if d.Verdict != want[d.Name] {
+			t.Errorf("%s: verdict %v, want %v", d.Name, d.Verdict, want[d.Name])
+		}
+	}
+	bad := Failures(deltas)
+	if len(bad) != 3 {
+		t.Fatalf("failures = %d, want 3 (%v)", len(bad), bad)
+	}
+}
+
+func TestCompareAllocRegressionHasNoTolerance(t *testing.T) {
+	// A zero-alloc baseline is exact: a single allocation fails regardless of
+	// the time threshold.
+	base := Baseline{Results: []Result{{Name: "X", NsPerOp: 100, AllocsPerOp: 0, BytesPerOp: 0}}}
+	fresh := []Result{{Name: "X", NsPerOp: 100, AllocsPerOp: 1, BytesPerOp: 8}}
+	deltas := Compare(base, fresh, 10.0) // huge time tolerance
+	if deltas[0].Verdict != AllocRegressed {
+		t.Fatalf("verdict = %v, want alloc-regressed", deltas[0].Verdict)
+	}
+}
+
+func TestCompareAllocSlackAbsorbsSchedulerJitter(t *testing.T) {
+	// Concurrent benchmarks jitter by parts per million; within allocSlack is
+	// OK, beyond it is a regression.
+	base := Baseline{Results: []Result{{Name: "F", NsPerOp: 1e9, AllocsPerOp: 41726664, BytesPerOp: 3427727552}}}
+	within := []Result{{Name: "F", NsPerOp: 1e9, AllocsPerOp: 41726700, BytesPerOp: 3427727552}}
+	if v := Compare(base, within, 0.25)[0].Verdict; v != OK {
+		t.Fatalf("jitter within slack judged %v, want ok", v)
+	}
+	beyond := []Result{{Name: "F", NsPerOp: 1e9, AllocsPerOp: 43000000, BytesPerOp: 3427727552}}
+	if v := Compare(base, beyond, 0.25)[0].Verdict; v != AllocRegressed {
+		t.Fatalf("3%% alloc growth judged %v, want alloc-regressed", v)
+	}
+}
+
+func TestParseBenchIgnoresGarbage(t *testing.T) {
+	in := "Benchmark\nBenchmarkX notanumber 5 ns/op\nrandom text\nBenchmarkY 10 bad ns/op\n"
+	results, err := ParseBench(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// BenchmarkY parses (10 iterations) but its malformed value pair is
+	// skipped; BenchmarkX is dropped entirely.
+	for _, r := range results {
+		if r.Name == "BenchmarkX" {
+			t.Fatal("malformed line parsed as a result")
+		}
+	}
+}
+
+func TestTrimProcSuffix(t *testing.T) {
+	cases := map[string]string{
+		"BenchmarkFoo-8":            "BenchmarkFoo",
+		"BenchmarkFoo":              "BenchmarkFoo",
+		"BenchmarkFoo/sub-case":     "BenchmarkFoo/sub-case",
+		"BenchmarkFoo/sub-case-16":  "BenchmarkFoo/sub-case",
+		"BenchmarkFoo/workers=8-16": "BenchmarkFoo/workers=8",
+	}
+	for in, want := range cases {
+		if got := trimProcSuffix(in); got != want {
+			t.Errorf("trimProcSuffix(%q) = %q, want %q", in, got, want)
+		}
+	}
+}

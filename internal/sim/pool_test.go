@@ -1,0 +1,185 @@
+package sim
+
+import (
+	"testing"
+	"time"
+)
+
+// noop is package-level so scheduling it never allocates a closure; the
+// allocation budgets below measure the simulator, not the test.
+func noop() {}
+
+func TestAfterStopCycleDoesNotAllocate(t *testing.T) {
+	s := New()
+	// Warm up: grow the pool, the free list, and the heap slice once.
+	for i := 0; i < 64; i++ {
+		tm := s.After(time.Second, noop)
+		tm.Stop()
+		s.Step()
+	}
+	allocs := testing.AllocsPerRun(1000, func() {
+		tm := s.After(time.Second, noop)
+		tm.Stop()
+		s.Step()
+	})
+	if allocs != 0 {
+		t.Fatalf("After+Stop+Step cycle allocates %v/op, want 0", allocs)
+	}
+}
+
+func TestRunBatchSteadyStateDoesNotAllocate(t *testing.T) {
+	s := New()
+	for i := 0; i < 64; i++ {
+		s.After(time.Duration(i), noop)
+	}
+	s.Run()
+	allocs := testing.AllocsPerRun(500, func() {
+		for i := 0; i < 8; i++ {
+			s.After(time.Duration(i)*time.Millisecond, noop)
+		}
+		if got := s.RunBatch(s.Now()+time.Second, 8); got != 8 {
+			t.Fatalf("RunBatch ran %d, want 8", got)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("RunBatch steady state allocates %v/op, want 0", allocs)
+	}
+}
+
+// TestStoppedTimerIsCollectible pins the Timer.Stop retention fix two ways:
+// the closure is released at Stop time (fn nil immediately, not at pop), and
+// the event itself returns to the pool and is reused by later scheduling.
+func TestStoppedTimerIsCollectible(t *testing.T) {
+	s := New()
+	tm := s.After(time.Hour, noop)
+	if !tm.Stop() {
+		t.Fatal("Stop on pending timer returned false")
+	}
+	if tm.ev.fn != nil {
+		t.Fatal("Stop left the event closure alive")
+	}
+	if tm.Stop() {
+		t.Fatal("second Stop returned true")
+	}
+	// Drain the cancelled event; it must be recycled, and the next After must
+	// come from the pool.
+	s.Run()
+	if s.PoolSize() != 1 {
+		t.Fatalf("PoolSize = %d after draining stopped timer, want 1", s.PoolSize())
+	}
+	before := s.PoolReuses()
+	tm2 := s.After(time.Second, noop)
+	if s.PoolReuses() != before+1 {
+		t.Fatalf("PoolReuses = %d, want %d: stopped timer's event not reused", s.PoolReuses(), before+1)
+	}
+	if tm2.ev != tm.ev {
+		t.Fatal("pool returned a different event than the one recycled")
+	}
+	// The stale handle must not be able to cancel the new timer (ABA).
+	if tm.Stop() {
+		t.Fatal("stale handle stopped a reused event")
+	}
+	fired := false
+	tm2.ev.fn = func() { fired = true }
+	s.Run()
+	if !fired {
+		t.Fatal("reused event did not fire")
+	}
+}
+
+func TestStopPreventsFiring(t *testing.T) {
+	s := New()
+	fired := false
+	tm := s.After(time.Second, func() { fired = true })
+	tm.Stop()
+	s.Run()
+	if fired {
+		t.Fatal("stopped timer fired")
+	}
+	if s.Processed() != 0 {
+		t.Fatalf("Processed = %d, want 0", s.Processed())
+	}
+}
+
+func TestResetReschedules(t *testing.T) {
+	s := New()
+	var order []string
+	tm := s.After(10*time.Second, func() { order = append(order, "reset") })
+	s.After(5*time.Second, func() { order = append(order, "fixed") })
+	if !tm.Reset(2 * time.Second) {
+		t.Fatal("Reset on pending timer returned false")
+	}
+	if tm.When() != 2*time.Second {
+		t.Fatalf("When = %v after Reset, want 2s", tm.When())
+	}
+	s.Run()
+	if len(order) != 2 || order[0] != "reset" || order[1] != "fixed" {
+		t.Fatalf("order = %v, want [reset fixed]", order)
+	}
+	if tm.Reset(time.Second) {
+		t.Fatal("Reset on fired timer returned true")
+	}
+}
+
+func TestResetDoesNotAllocate(t *testing.T) {
+	s := New()
+	tm := s.After(time.Hour, noop)
+	allocs := testing.AllocsPerRun(1000, func() {
+		if !tm.Reset(time.Hour) {
+			t.Fatal("Reset failed")
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("Reset allocates %v/op, want 0", allocs)
+	}
+}
+
+func TestRunBatchBounds(t *testing.T) {
+	s := New()
+	for i := 1; i <= 10; i++ {
+		s.After(time.Duration(i)*time.Second, noop)
+	}
+	if got := s.RunBatch(time.Hour, 3); got != 3 {
+		t.Fatalf("RunBatch ran %d, want 3", got)
+	}
+	if s.Now() != 3*time.Second {
+		t.Fatalf("clock = %v after batch, want 3s (never past last executed event)", s.Now())
+	}
+	// Deadline bound: only events <= 5s remain eligible.
+	if got := s.RunBatch(5*time.Second, 100); got != 2 {
+		t.Fatalf("RunBatch ran %d, want 2", got)
+	}
+	if s.Pending() != 5 {
+		t.Fatalf("Pending = %d, want 5", s.Pending())
+	}
+}
+
+func TestPoolDeterminism(t *testing.T) {
+	// Two runs with identical schedules must execute identically even though
+	// one run's pool is pre-warmed: execution order depends on (when, seq),
+	// never on event identity.
+	run := func(s *Sim) []int {
+		var got []int
+		for i := 0; i < 50; i++ {
+			i := i
+			s.After(time.Duration(i%7)*time.Millisecond, func() { got = append(got, i) })
+		}
+		s.Run()
+		return got
+	}
+	fresh := New()
+	warmed := New()
+	for i := 0; i < 32; i++ {
+		warmed.After(0, noop)
+	}
+	warmed.Run()
+	a, b := run(fresh), run(warmed)
+	if len(a) != len(b) {
+		t.Fatalf("lengths differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("execution order diverged at %d: %d vs %d", i, a[i], b[i])
+		}
+	}
+}

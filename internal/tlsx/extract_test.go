@@ -1,0 +1,92 @@
+package tlsx
+
+import (
+	"bytes"
+	"testing"
+)
+
+// checkExtractAgrees asserts the ExtractSNI/ParseClientHello contract on one
+// input: found iff the reference parse succeeds with a non-empty name, and
+// the bytes match.
+func checkExtractAgrees(t *testing.T, b []byte) {
+	t.Helper()
+	sni, found := ExtractSNI(b)
+	info, err := ParseClientHello(b)
+	refFound := err == nil && info.ServerName != ""
+	if found != refFound {
+		t.Fatalf("ExtractSNI found=%v, reference found=%v (err=%v) on %x", found, refFound, err, b)
+	}
+	if found && string(sni) != info.ServerName {
+		t.Fatalf("ExtractSNI = %q, reference = %q", sni, info.ServerName)
+	}
+}
+
+func TestExtractSNIEquivalence(t *testing.T) {
+	specs := map[string]*ClientHelloSpec{
+		"basic":        {ServerName: "twitter.com"},
+		"alpn":         {ServerName: "rutracker.org", ALPN: []string{"h2", "http/1.1"}},
+		"padded":       {ServerName: "facebook.com", PaddingLen: 200},
+		"session":      {ServerName: "x.org", SessionID: bytes.Repeat([]byte{7}, 32)},
+		"ech":          {ECH: true},
+		"ech-outer":    {ServerName: "fronting.example", ECH: true},
+		"no-sni":       {},
+		"prepended":    {ServerName: "twitter.com", PrependRecord: true},
+		"extra-ext":    {ServerName: "t.co", ExtraExts: []Extension{{Type: 0x002b, Data: []byte{2, 3, 4}}}},
+		"upper":        {ServerName: "TWITTER.COM"},
+		"trailing-dot": {ServerName: "twitter.com."},
+	}
+	for name, spec := range specs {
+		t.Run(name, func(t *testing.T) {
+			b := spec.Build()
+			checkExtractAgrees(t, b)
+			// Truncations at every length exercise each bounds check the two
+			// parsers must share.
+			for n := 0; n <= len(b); n++ {
+				checkExtractAgrees(t, b[:n])
+			}
+		})
+	}
+}
+
+func TestExtractSNIEquivalenceUnderMutation(t *testing.T) {
+	base := (&ClientHelloSpec{ServerName: "api.twitter.com", ALPN: []string{"h2"}}).Build()
+	// Flip every byte through a few values: any disagreement between the two
+	// parsers on which mutations still yield an SNI is a contract violation.
+	mut := make([]byte, len(base))
+	for i := range base {
+		for _, v := range []byte{0x00, 0x01, 0xff, base[i] ^ 0x80} {
+			copy(mut, base)
+			mut[i] = v
+			checkExtractAgrees(t, mut)
+		}
+	}
+}
+
+func TestExtractSNIAliasesInput(t *testing.T) {
+	b := (&ClientHelloSpec{ServerName: "twitter.com"}).Build()
+	sni, found := ExtractSNI(b)
+	if !found || string(sni) != "twitter.com" {
+		t.Fatalf("ExtractSNI = %q, %v", sni, found)
+	}
+	// The result must be a subslice of b, not a copy.
+	sni[0] = 'X'
+	if info, err := ParseClientHello(b); err != nil || info.ServerName != "Xwitter.com" {
+		t.Fatal("returned slice does not alias the input buffer")
+	}
+}
+
+func TestExtractSNINoAllocs(t *testing.T) {
+	hello := (&ClientHelloSpec{ServerName: "api.twitter.com", ALPN: []string{"h2", "http/1.1"}}).Build()
+	notTLS := bytes.Repeat([]byte{0xab}, 1400)
+	allocs := testing.AllocsPerRun(500, func() {
+		if _, found := ExtractSNI(hello); !found {
+			t.Fatal("SNI not found")
+		}
+		if _, found := ExtractSNI(notTLS); found {
+			t.Fatal("SNI found in junk")
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("ExtractSNI allocates %v/op, want 0", allocs)
+	}
+}

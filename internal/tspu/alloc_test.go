@@ -1,0 +1,150 @@
+package tspu
+
+import (
+	"testing"
+
+	"tspusim/internal/netem"
+	"tspusim/internal/packet"
+	"tspusim/internal/sim"
+	"tspusim/internal/tlsx"
+)
+
+// Allocation budgets for the per-packet datapath. These pin the tentpole's
+// contract — the device's steady-state hot path never touches the heap — so a
+// regression shows up as a failing test, not just a drifting benchmark.
+
+func allocDevice() (*Device, *sim.Sim) {
+	s := sim.New()
+	d := NewDevice(Config{Sim: s, LocalDir: netem.AtoB})
+	ctl := NewController(nil)
+	ctl.Register(d)
+	ctl.Update(func(p *Policy) { p.SNI1Domains.Add("facebook.com") })
+	return d, s
+}
+
+func TestDevicePassThroughZeroAllocs(t *testing.T) {
+	d, s := allocDevice()
+	pipe := nullPipe{s: s}
+	data := packet.NewTCP(packet.MustAddr("10.0.0.2"), packet.MustAddr("203.0.113.10"),
+		40000, 443, packet.FlagsPSHACK, 1, 1, make([]byte, 1400))
+	d.Handle(pipe, data, netem.AtoB) // warm up: create the flow entry
+	allocs := testing.AllocsPerRun(500, func() {
+		d.Handle(pipe, data, netem.AtoB)
+	})
+	if allocs != 0 {
+		t.Fatalf("pass-through Handle allocates %v/op, want 0", allocs)
+	}
+}
+
+func TestDeviceNonMatchingClientHelloZeroAllocs(t *testing.T) {
+	d, s := allocDevice()
+	pipe := nullPipe{s: s}
+	ch := (&tlsx.ClientHelloSpec{ServerName: "not-blocked.example"}).Build()
+	trig := packet.NewTCP(packet.MustAddr("10.0.0.2"), packet.MustAddr("203.0.113.10"),
+		40000, 443, packet.FlagsPSHACK, 1, 1, ch)
+	d.Handle(pipe, trig, netem.AtoB)
+	allocs := testing.AllocsPerRun(500, func() {
+		d.Handle(pipe, trig, netem.AtoB)
+	})
+	if allocs != 0 {
+		t.Fatalf("non-matching ClientHello Handle allocates %v/op, want 0", allocs)
+	}
+}
+
+func TestDeviceFlowChurnZeroAllocs(t *testing.T) {
+	// Cycling through many distinct flows reuses pooled conntrack entries, so
+	// even flow setup is allocation-free once the pool is warm.
+	d, s := allocDevice()
+	pipe := nullPipe{s: s}
+	pkts := make([]*packet.Packet, 256)
+	for i := range pkts {
+		pkts[i] = packet.NewTCP(packet.MustAddr("10.0.0.2"), packet.MustAddr("203.0.113.10"),
+			uint16(20000+i), 443, packet.FlagSYN, 1, 0, nil)
+		d.Handle(pipe, pkts[i], netem.AtoB)
+	}
+	i := 0
+	allocs := testing.AllocsPerRun(2000, func() {
+		d.Handle(pipe, pkts[i%len(pkts)], netem.AtoB)
+		i++
+	})
+	if allocs != 0 {
+		t.Fatalf("many-flows Handle allocates %v/op, want 0", allocs)
+	}
+}
+
+func TestDomainSetMatchZeroAllocs(t *testing.T) {
+	set := NewDomainSet("facebook.com", "twitter.com", "play.google.com")
+	lower := []byte("api.twitter.com")
+	upper := []byte("API.TWITTER.COM")
+	dotted := []byte("www.facebook.com.")
+	miss := []byte("example.org")
+	// Warm up the case-folding scratch once.
+	set.Match(upper)
+	allocs := testing.AllocsPerRun(500, func() {
+		if !set.Match(lower) || !set.Match(upper) || !set.Match(dotted) {
+			t.Fatal("Match missed")
+		}
+		if set.Match(miss) {
+			t.Fatal("Match false positive")
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("DomainSet.Match allocates %v/op, want 0", allocs)
+	}
+}
+
+func TestExtractSNIPathZeroAllocs(t *testing.T) {
+	p := NewPolicy()
+	p.SNI1Domains.Add("facebook.com")
+	ch := (&tlsx.ClientHelloSpec{ServerName: "www.facebook.com", ALPN: []string{"h2"}}).Build()
+	allocs := testing.AllocsPerRun(500, func() {
+		sni, ok := tlsx.ExtractSNI(ch)
+		if !ok {
+			t.Fatal("SNI not found")
+		}
+		if cls := p.ClassifyBytes(sni); !cls.SNI1 {
+			t.Fatal("classification missed")
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("ExtractSNI+ClassifyBytes allocates %v/op, want 0", allocs)
+	}
+}
+
+func TestConntrackObserveZeroAllocs(t *testing.T) {
+	ct := newConntrack(DefaultTimeouts())
+	p := packet.NewTCP(packet.MustAddr("10.0.0.2"), packet.MustAddr("203.0.113.10"),
+		40000, 443, packet.FlagsPSHACK, 1, 1, nil)
+	ct.observe(p, true, 0)
+	allocs := testing.AllocsPerRun(500, func() {
+		ct.observe(p, true, 0)
+	})
+	if allocs != 0 {
+		t.Fatalf("conntrack.observe allocates %v/op, want 0", allocs)
+	}
+}
+
+// TestTriggerDetectionAllocBudget bounds the one remaining allocating moment:
+// installing a new blocking state (the token bucket for SNI-III aside, a
+// trigger only pays for what it installs, and a rewritten RST/ACK pays
+// nothing).
+func TestTriggerDetectionAllocBudget(t *testing.T) {
+	d, s := allocDevice()
+	pipe := nullPipe{s: s}
+	ch := (&tlsx.ClientHelloSpec{ServerName: "facebook.com"}).Build()
+	src := packet.MustAddr("10.0.0.2")
+	dst := packet.MustAddr("203.0.113.10")
+	sport := uint16(20000)
+	trig := packet.NewTCP(src, dst, sport, 443, packet.FlagsPSHACK, 1, 1, ch)
+	resp := packet.NewTCP(dst, src, 443, sport, packet.FlagsPSHACK, 1, 1, []byte("hello"))
+	// Warm: one full trigger+rewrite cycle grows pools and stats maps.
+	d.Handle(pipe, trig, netem.AtoB)
+	d.Handle(pipe, resp, netem.BtoA)
+	allocs := testing.AllocsPerRun(200, func() {
+		d.Handle(pipe, trig, netem.AtoB) // flow already blocked: applyBlock path
+		d.Handle(pipe, resp, netem.BtoA) // downstream rewrite to RST/ACK
+	})
+	if allocs != 0 {
+		t.Fatalf("blocked-flow Handle allocates %v/op, want 0", allocs)
+	}
+}

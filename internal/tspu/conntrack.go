@@ -102,7 +102,8 @@ func (t StateTimeouts) forBlock(b BlockType) time.Duration {
 	}
 }
 
-// blockState is an active blocking decision on one flow.
+// blockState is an active blocking decision on one flow. It is embedded by
+// value in the flowEntry so installing a block never allocates.
 type blockState struct {
 	typ   BlockType
 	until time.Duration
@@ -113,9 +114,11 @@ type blockState struct {
 	bucket *tokenBucket
 }
 
-// flowEntry is one conntrack record.
+// flowEntry is one conntrack record. Entries are pooled per-conntrack: a
+// deleted entry's memory is reused by the next flow instead of going to the
+// garbage collector, so flow churn does not allocate in steady state.
 type flowEntry struct {
-	key     packet.FlowKey // canonical
+	key     packet.FlowKey4 // canonical compact 5-tuple
 	origin  Origin
 	state   ConnState
 	expires time.Duration
@@ -126,11 +129,13 @@ type flowEntry struct {
 	sawRemoteSYN bool
 	// sawSYNACK gates promotion to ESTABLISHED on a real handshake.
 	sawSYNACK bool
-	block     *blockState
-	// immune records trigger types that this flow escaped via the device's
-	// per-connection failure roll (Table 1): retrying the same trigger on
-	// the same connection stays unblocked, a fresh connection re-rolls.
-	immune map[BlockType]bool
+	hasBlock  bool
+	block     blockState
+	// immune is a bitmask over BlockType recording trigger types this flow
+	// escaped via the device's per-connection failure roll (Table 1):
+	// retrying the same trigger on the same connection stays unblocked, a
+	// fresh connection re-rolls.
+	immune uint8
 	// ipVerdictKnown/ipBlocked cache the per-flow IP-block decision.
 	ipVerdictKnown bool
 	ipBlocked      bool
@@ -140,23 +145,46 @@ func (e *flowEntry) roleConfused() bool {
 	return e.origin == OriginLocal && e.sawRemoteSYN
 }
 
+func (e *flowEntry) isImmune(t BlockType) bool { return e.immune&(1<<uint(t)) != 0 }
+func (e *flowEntry) setImmune(t BlockType)     { e.immune |= 1 << uint(t) }
+
 // conntrack is the device's flow table with lazy expiry against the virtual
 // clock.
 type conntrack struct {
-	table    map[packet.FlowKey]*flowEntry
+	table    map[packet.FlowKey4]*flowEntry
 	timeouts StateTimeouts
 	// Evictions counts lazily expired entries (visible in device stats).
 	evictions int
 	// cap implements the optional flow-table bound (resources.go).
 	cap capacityState
+	// free is the entry pool, refilled as entries are deleted.
+	free []*flowEntry
 }
 
 func newConntrack(t StateTimeouts) *conntrack {
-	return &conntrack{table: make(map[packet.FlowKey]*flowEntry), timeouts: t}
+	return &conntrack{table: make(map[packet.FlowKey4]*flowEntry), timeouts: t}
+}
+
+// release recycles a deleted entry. The caller must have removed it from the
+// table; zeroing drops the token-bucket pointer so stopped throttles are
+// collectible.
+func (ct *conntrack) release(e *flowEntry) {
+	*e = flowEntry{}
+	ct.free = append(ct.free, e)
+}
+
+func (ct *conntrack) allocEntry() *flowEntry {
+	if n := len(ct.free); n > 0 {
+		e := ct.free[n-1]
+		ct.free[n-1] = nil
+		ct.free = ct.free[:n-1]
+		return e
+	}
+	return &flowEntry{}
 }
 
 // lookup returns the live entry for pkt's flow, expiring stale state.
-func (ct *conntrack) lookup(key packet.FlowKey, now time.Duration) *flowEntry {
+func (ct *conntrack) lookup(key packet.FlowKey4, now time.Duration) *flowEntry {
 	e, ok := ct.table[key]
 	if !ok {
 		return nil
@@ -164,6 +192,7 @@ func (ct *conntrack) lookup(key packet.FlowKey, now time.Duration) *flowEntry {
 	if now >= e.expires {
 		delete(ct.table, key)
 		ct.evictions++
+		ct.release(e)
 		return nil
 	}
 	return e
@@ -182,7 +211,8 @@ func (ct *conntrack) lookup(key packet.FlowKey, now time.Duration) *flowEntry {
 //     trigger" sequence of Table 8 is only explainable if the TSPU replaces
 //     rather than updates its entry on unsolicited ACKs.
 //   - Promotion to ESTABLISHED requires having seen a SYN/ACK.
-func (ct *conntrack) observe(pkt *packet.Packet, key packet.FlowKey, dirLocal bool, now time.Duration) *flowEntry {
+func (ct *conntrack) observe(pkt *packet.Packet, dirLocal bool, now time.Duration) *flowEntry {
+	key := packet.FlowKey4Of(pkt)
 	e := ct.lookup(key, now)
 	t := pkt.TCP
 
@@ -191,13 +221,11 @@ func (ct *conntrack) observe(pkt *packet.Packet, key packet.FlowKey, dirLocal bo
 		if dirLocal {
 			origin = OriginLocal
 		}
-		ne := &flowEntry{
-			key:     key,
-			origin:  origin,
-			state:   state,
-			expires: now + ct.timeouts.forState(state),
-			immune:  make(map[BlockType]bool),
-		}
+		ne := ct.allocEntry()
+		ne.key = key
+		ne.origin = origin
+		ne.state = state
+		ne.expires = now + ct.timeouts.forState(state)
 		ct.table[key] = ne
 		ct.noteInsert(key)
 		return ne
@@ -247,6 +275,7 @@ func (ct *conntrack) observe(pkt *packet.Packet, key packet.FlowKey, dirLocal bo
 				// never restart — otherwise every trigger ClientHello would
 				// reset the flow it rides on.
 				delete(ct.table, key)
+				ct.release(e)
 				ne := newEntry(CTEstablished)
 				ne.origin = OriginRemote
 				return ne
@@ -259,7 +288,7 @@ func (ct *conntrack) observe(pkt *packet.Packet, key packet.FlowKey, dirLocal bo
 	// Activity refreshes the state timer, but never shortens an active
 	// blocking hold.
 	exp := now + ct.timeouts.forState(e.state)
-	if e.block != nil && e.block.until > exp {
+	if e.hasBlock && e.block.until > exp {
 		exp = e.block.until
 	}
 	e.expires = exp
@@ -269,7 +298,8 @@ func (ct *conntrack) observe(pkt *packet.Packet, key packet.FlowKey, dirLocal bo
 // setBlock installs a blocking state on the entry and extends its lifetime
 // to cover it.
 func (ct *conntrack) setBlock(e *flowEntry, typ BlockType, now time.Duration, allowance int, bucket *tokenBucket) {
-	e.block = &blockState{
+	e.hasBlock = true
+	e.block = blockState{
 		typ:       typ,
 		until:     now + ct.timeouts.forBlock(typ),
 		allowance: allowance,
@@ -282,10 +312,10 @@ func (ct *conntrack) setBlock(e *flowEntry, typ BlockType, now time.Duration, al
 
 // activeBlock returns the entry's blocking state if it has not expired.
 func (e *flowEntry) activeBlock(now time.Duration) *blockState {
-	if e.block == nil || now >= e.block.until {
+	if !e.hasBlock || now >= e.block.until {
 		return nil
 	}
-	return e.block
+	return &e.block
 }
 
 // size reports the number of table entries (including not-yet-swept stale

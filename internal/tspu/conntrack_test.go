@@ -12,26 +12,26 @@ var (
 	ctRemote = packet.MustAddr("203.0.113.10")
 )
 
-func tcpPkt(local bool, flags packet.TCPFlags) (*packet.Packet, packet.FlowKey, bool) {
+func tcpPkt(local bool, flags packet.TCPFlags) (*packet.Packet, packet.FlowKey4, bool) {
 	var p *packet.Packet
 	if local {
 		p = packet.NewTCP(ctLocal, ctRemote, 40000, 443, flags, 100, 0, nil)
 	} else {
 		p = packet.NewTCP(ctRemote, ctLocal, 443, 40000, flags, 200, 0, nil)
 	}
-	return p, packet.FlowOf(p).Canonical(), local
+	return p, packet.FlowKey4Of(p), local
 }
 
 func TestOriginFromFirstPacket(t *testing.T) {
 	ct := newConntrack(DefaultTimeouts())
-	p, key, local := tcpPkt(false, packet.FlagSYN)
-	e := ct.observe(p, key, local, 0)
+	p, _, local := tcpPkt(false, packet.FlagSYN)
+	e := ct.observe(p, local, 0)
 	if e.origin != OriginRemote {
 		t.Fatal("remote-first flow not OriginRemote")
 	}
 	ct2 := newConntrack(DefaultTimeouts())
-	p2, key2, local2 := tcpPkt(true, packet.FlagSYN)
-	e2 := ct2.observe(p2, key2, local2, 0)
+	p2, _, local2 := tcpPkt(true, packet.FlagSYN)
+	e2 := ct2.observe(p2, local2, 0)
 	if e2.origin != OriginLocal {
 		t.Fatal("local-first flow not OriginLocal")
 	}
@@ -39,13 +39,13 @@ func TestOriginFromFirstPacket(t *testing.T) {
 
 func TestStateProgression(t *testing.T) {
 	ct := newConntrack(DefaultTimeouts())
-	syn, key, _ := tcpPkt(true, packet.FlagSYN)
-	e := ct.observe(syn, key, true, 0)
+	syn, _, _ := tcpPkt(true, packet.FlagSYN)
+	e := ct.observe(syn, true, 0)
 	if e.state != CTSynSent {
 		t.Fatalf("after SYN: %v", e.state)
 	}
 	sa, _, _ := tcpPkt(false, packet.FlagsSYNACK)
-	e = ct.observe(sa, key, false, time.Second)
+	e = ct.observe(sa, false, time.Second)
 	if e.state != CTEstablished || !e.sawSYNACK {
 		t.Fatalf("after SYN/ACK: %v", e.state)
 	}
@@ -55,10 +55,10 @@ func TestSimultaneousOpenStaysSynRecv(t *testing.T) {
 	// Ls;Rs;La must remain SYN_RCVD (no SYN/ACK seen), which is what gives
 	// the 105s measurement of Table 2.
 	ct := newConntrack(DefaultTimeouts())
-	syn, key, _ := tcpPkt(true, packet.FlagSYN)
-	e := ct.observe(syn, key, true, 0)
+	syn, _, _ := tcpPkt(true, packet.FlagSYN)
+	e := ct.observe(syn, true, 0)
 	rsyn, _, _ := tcpPkt(false, packet.FlagSYN)
-	e = ct.observe(rsyn, key, false, time.Second)
+	e = ct.observe(rsyn, false, time.Second)
 	if e.state != CTSynRecv {
 		t.Fatalf("after remote SYN: %v", e.state)
 	}
@@ -66,7 +66,7 @@ func TestSimultaneousOpenStaysSynRecv(t *testing.T) {
 		t.Fatal("role confusion not flagged")
 	}
 	ack, _, _ := tcpPkt(true, packet.FlagACK)
-	e = ct.observe(ack, key, true, 2*time.Second)
+	e = ct.observe(ack, true, 2*time.Second)
 	if e.state != CTSynRecv {
 		t.Fatalf("ACK without SYN/ACK promoted to %v", e.state)
 	}
@@ -76,10 +76,10 @@ func TestUnsolicitedACKRestartsTracking(t *testing.T) {
 	// Ls;Ra: the remote bare ACK in SYN_SENT replaces the entry with a
 	// remote-origin one (Table 8's "Ls;Ra;Lt -> PASS").
 	ct := newConntrack(DefaultTimeouts())
-	syn, key, _ := tcpPkt(true, packet.FlagSYN)
-	ct.observe(syn, key, true, 0)
+	syn, _, _ := tcpPkt(true, packet.FlagSYN)
+	ct.observe(syn, true, 0)
 	ack, _, _ := tcpPkt(false, packet.FlagACK)
-	e := ct.observe(ack, key, false, time.Second)
+	e := ct.observe(ack, false, time.Second)
 	if e.origin != OriginRemote {
 		t.Fatalf("origin after unsolicited ACK = %v, want remote", e.origin)
 	}
@@ -91,7 +91,7 @@ func TestUnsolicitedACKRestartsTracking(t *testing.T) {
 func TestEntryExpiry(t *testing.T) {
 	ct := newConntrack(DefaultTimeouts())
 	syn, key, _ := tcpPkt(false, packet.FlagSYN)
-	ct.observe(syn, key, false, 0)
+	ct.observe(syn, false, 0)
 	if ct.lookup(key, 59*time.Second) == nil {
 		t.Fatal("SYN_SENT entry gone before 60s")
 	}
@@ -106,9 +106,9 @@ func TestEntryExpiry(t *testing.T) {
 func TestActivityRefreshesTimer(t *testing.T) {
 	ct := newConntrack(DefaultTimeouts())
 	syn, key, _ := tcpPkt(true, packet.FlagSYN)
-	ct.observe(syn, key, true, 0)
+	ct.observe(syn, true, 0)
 	sa, _, _ := tcpPkt(false, packet.FlagsSYNACK)
-	ct.observe(sa, key, false, 30*time.Second) // promotes to ESTABLISHED
+	ct.observe(sa, false, 30*time.Second) // promotes to ESTABLISHED
 	// 480s from the refresh, not from creation.
 	if ct.lookup(key, 500*time.Second) == nil {
 		t.Fatal("refresh did not extend lifetime")
@@ -121,8 +121,8 @@ func TestActivityRefreshesTimer(t *testing.T) {
 func TestBlockExtendsEntryLifetime(t *testing.T) {
 	tt := DefaultTimeouts()
 	ct := newConntrack(tt)
-	p, key, _ := tcpPkt(true, packet.FlagsPSHACK)
-	e := ct.observe(p, key, true, 0)
+	p, _, _ := tcpPkt(true, packet.FlagsPSHACK)
+	e := ct.observe(p, true, 0)
 	ct.setBlock(e, SNI2, 0, 6, nil)
 	if e.activeBlock(419*time.Second) == nil {
 		t.Fatal("SNI-II block expired early")
@@ -157,10 +157,10 @@ func TestBlockTimeoutValuesMatchTable2(t *testing.T) {
 
 func TestRemoteSYNOnRemoteOriginNotConfused(t *testing.T) {
 	ct := newConntrack(DefaultTimeouts())
-	rs, key, _ := tcpPkt(false, packet.FlagSYN)
-	e := ct.observe(rs, key, false, 0)
+	rs, _, _ := tcpPkt(false, packet.FlagSYN)
+	e := ct.observe(rs, false, 0)
 	rs2, _, _ := tcpPkt(false, packet.FlagSYN)
-	e = ct.observe(rs2, key, false, time.Second)
+	e = ct.observe(rs2, false, time.Second)
 	if e.roleConfused() {
 		t.Fatal("remote-origin flow marked confused")
 	}

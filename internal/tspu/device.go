@@ -73,7 +73,12 @@ type Device struct {
 	timeouts StateTimeouts
 	// reasm holds per-flow upstream byte buffers for the ReassembleTCP
 	// ablation.
-	reasm map[packet.FlowKey][]byte
+	reasm map[packet.FlowKey4][]byte
+	// slowPath routes SNI classification through the retained reference
+	// implementation (string-building parser + Contains) instead of the
+	// allocation-free fast path; the equivalence property tests flip it to
+	// pin that both paths produce byte-identical device behavior.
+	slowPath bool
 	// sweepEvery/lastSweep drive datapath-piggybacked housekeeping.
 	sweepEvery time.Duration
 	lastSweep  time.Duration
@@ -105,7 +110,7 @@ func NewDevice(cfg Config) *Device {
 		ct:       newConntrack(cfg.Timeouts),
 		frags:    newFragEngine(cfg.FragLimit, cfg.Timeouts.Frag),
 		timeouts: cfg.Timeouts,
-		reasm:    make(map[packet.FlowKey][]byte),
+		reasm:    make(map[packet.FlowKey4][]byte),
 	}
 	d.stats.Triggers = make(map[BlockType]int)
 	d.stats.Misses = make(map[BlockType]int)
@@ -179,6 +184,12 @@ func (d *Device) Handle(pipe netem.Pipe, pkt *packet.Packet, dir netem.Direction
 // SYN, yet the paper observes it still rewrites the outbound SYN/ACK, so the
 // decision cannot depend on having tracked the flow from its start.
 func (d *Device) handleIPBlock(pkt *packet.Packet, dir netem.Direction, now time.Duration) (netem.Action, bool) {
+	// Fast path: with no IP blocks in the policy (the overwhelmingly common
+	// case) there is nothing to decide, and in particular no reason to pay
+	// two address-map probes per packet.
+	if len(d.policy.BlockedIPs) == 0 {
+		return netem.Pass, false
+	}
 	dstBlocked := d.policy.IPBlocked(pkt.IP.Dst)
 	srcBlocked := d.policy.IPBlocked(pkt.IP.Src)
 	if !dstBlocked && !srcBlocked {
@@ -193,8 +204,7 @@ func (d *Device) handleIPBlock(pkt *packet.Packet, dir netem.Direction, now time
 
 	if pkt.TCP != nil || pkt.UDP != nil {
 		// The per-connection failure roll is cached on the flow entry.
-		key := packet.FlowOf(pkt).Canonical()
-		e := d.ct.observe(pkt, key, d.isLocalDir(dir), now)
+		e := d.ct.observe(pkt, d.isLocalDir(dir), now)
 		if !e.ipVerdictKnown {
 			e.ipVerdictKnown = true
 			e.ipBlocked = !d.failRoll(IPBlock)
@@ -238,8 +248,7 @@ func (d *Device) failRoll(t BlockType) bool {
 }
 
 func (d *Device) handleTCP(pkt *packet.Packet, dir netem.Direction, now time.Duration) netem.Action {
-	key := packet.FlowOf(pkt).Canonical()
-	e := d.ct.observe(pkt, key, d.isLocalDir(dir), now)
+	e := d.ct.observe(pkt, d.isLocalDir(dir), now)
 
 	// Active blocking state takes precedence over new trigger detection.
 	if b := e.activeBlock(now); b != nil {
@@ -263,12 +272,8 @@ func (d *Device) detectSNITrigger(e *flowEntry, pkt *packet.Packet, now time.Dur
 	if e.origin == OriginRemote && !d.cfg.StrictRoles {
 		return netem.Pass // remotely-originated connections are exempt
 	}
-	sni, ok := d.extractSNI(e, pkt)
-	if !ok {
-		return netem.Pass
-	}
-	cls := d.policy.Classify(sni)
-	if !cls.Any() {
+	cls, ok := d.classifySNI(e, pkt)
+	if !ok || !cls.Any() {
 		return netem.Pass
 	}
 
@@ -277,9 +282,9 @@ func (d *Device) detectSNITrigger(e *flowEntry, pkt *packet.Packet, now time.Dur
 	// SNI-III throttling takes precedence while its policy window is
 	// active: the same domains moved to SNI-I only after throttling was
 	// switched off on March 4 (§5.2).
-	if cls.Throttle && !e.immune[SNI3] {
+	if cls.Throttle && !e.isImmune(SNI3) {
 		if d.failRoll(SNI3) {
-			e.immune[SNI3] = true
+			e.setImmune(SNI3)
 		} else {
 			d.stats.Triggers[SNI3]++
 			bucket := newTokenBucket(d.policy.ThrottleRate, 0, now)
@@ -290,9 +295,9 @@ func (d *Device) detectSNITrigger(e *flowEntry, pkt *packet.Packet, now time.Dur
 
 	// SNI-I: primary mechanism, skipped when the role heuristic was
 	// confused by a remote SYN (Fig. 4 green paths).
-	if cls.SNI1 && !confused && !e.immune[SNI1] {
+	if cls.SNI1 && !confused && !e.isImmune(SNI1) {
 		if d.failRoll(SNI1) {
-			e.immune[SNI1] = true
+			e.setImmune(SNI1)
 		} else {
 			d.stats.Triggers[SNI1]++
 			d.ct.setBlock(e, SNI1, now, 0, nil)
@@ -301,9 +306,9 @@ func (d *Device) detectSNITrigger(e *flowEntry, pkt *packet.Packet, now time.Dur
 	}
 	// SNI-IV: backup for its select domain list; fires when SNI-I did not
 	// take action. Drops everything including the trigger.
-	if cls.SNI4 && !e.immune[SNI4] {
+	if cls.SNI4 && !e.isImmune(SNI4) {
 		if d.failRoll(SNI4) {
-			e.immune[SNI4] = true
+			e.setImmune(SNI4)
 		} else {
 			d.stats.Triggers[SNI4]++
 			d.ct.setBlock(e, SNI4, now, 0, nil)
@@ -314,9 +319,9 @@ func (d *Device) detectSNITrigger(e *flowEntry, pkt *packet.Packet, now time.Dur
 	// Role confusion exempts only SNI-I (Fig. 4); SNI-II still fires —
 	// Table 8 measures "Ls;Rs;Lt" as DROP with an SNI-II trigger.
 	// SNI-II: allowance then symmetric drop.
-	if cls.SNI2 && !e.immune[SNI2] {
+	if cls.SNI2 && !e.isImmune(SNI2) {
 		if d.failRoll(SNI2) {
-			e.immune[SNI2] = true
+			e.setImmune(SNI2)
 		} else {
 			d.stats.Triggers[SNI2]++
 			allowance := d.rng.IntRange(d.cfg.SNI2AllowanceMin, d.cfg.SNI2AllowanceMax)
@@ -327,24 +332,49 @@ func (d *Device) detectSNITrigger(e *flowEntry, pkt *packet.Packet, now time.Dur
 	return netem.Pass
 }
 
-// extractSNI parses the packet payload (depth-limited, single record) for a
-// ClientHello SNI. With the ReassembleTCP ablation the device instead
-// accumulates upstream bytes per flow and parses the stream prefix, which
-// defeats TCP segmentation evasion.
-func (d *Device) extractSNI(e *flowEntry, pkt *packet.Packet) (string, bool) {
-	buf := pkt.TCP.Payload
+// classifySNI parses the packet payload (depth-limited, single record) for a
+// ClientHello SNI and classifies it under the current policy. The fast path
+// pairs tlsx.ExtractSNI with Policy.ClassifyBytes so a pass-through packet —
+// TLS or not — is inspected without a single allocation; slowClassifySNI is
+// the retained reference implementation. With the ReassembleTCP ablation the
+// device instead accumulates upstream bytes per flow and parses the stream
+// prefix, which defeats TCP segmentation evasion.
+func (d *Device) classifySNI(e *flowEntry, pkt *packet.Packet) (Classification, bool) {
 	if d.cfg.ReassembleTCP {
 		acc := append(d.reasm[e.key], pkt.TCP.Payload...)
 		if len(acc) > 4096 {
 			acc = acc[:4096]
 		}
 		d.reasm[e.key] = acc
-		buf = acc
-		if info, err := tlsx.ParseClientHelloDeep(buf); err == nil && info.ServerName != "" {
-			return info.ServerName, true
+		if info, err := tlsx.ParseClientHelloDeep(acc); err == nil && info.ServerName != "" {
+			return d.policy.Classify(info.ServerName), true
 		}
-		return "", false
+		return Classification{}, false
 	}
+	if d.slowPath {
+		sni, ok := d.slowExtractSNI(pkt)
+		if !ok {
+			return Classification{}, false
+		}
+		return d.policy.Classify(sni), true
+	}
+	buf := pkt.TCP.Payload
+	if len(buf) > d.cfg.InspectDepth {
+		buf = buf[:d.cfg.InspectDepth]
+	}
+	sni, ok := tlsx.ExtractSNI(buf)
+	if !ok {
+		return Classification{}, false
+	}
+	return d.policy.ClassifyBytes(sni), true
+}
+
+// slowExtractSNI is the pre-optimization reference: a full structural parse
+// that materializes the Info struct and its strings. It is kept (unexported,
+// exercised via the slowPath flag) as the oracle the equivalence property
+// tests compare the zero-allocation path against.
+func (d *Device) slowExtractSNI(pkt *packet.Packet) (string, bool) {
+	buf := pkt.TCP.Payload
 	if len(buf) > d.cfg.InspectDepth {
 		buf = buf[:d.cfg.InspectDepth]
 	}
@@ -388,8 +418,7 @@ func (d *Device) applyBlock(e *flowEntry, b *blockState, pkt *packet.Packet, dir
 }
 
 func (d *Device) handleUDP(pkt *packet.Packet, dir netem.Direction, now time.Duration) netem.Action {
-	key := packet.FlowOf(pkt).Canonical()
-	e := d.ct.observe(pkt, key, d.isLocalDir(dir), now)
+	e := d.ct.observe(pkt, d.isLocalDir(dir), now)
 
 	if b := e.activeBlock(now); b != nil {
 		return d.applyBlock(e, b, pkt, dir, now)
@@ -397,9 +426,9 @@ func (d *Device) handleUDP(pkt *packet.Packet, dir netem.Direction, now time.Dur
 	if !d.policy.QUICFilter || !d.isLocalDir(dir) {
 		return netem.Pass
 	}
-	if quicx.MatchesTSPUFingerprint(pkt.UDP.DstPort, pkt.UDP.Payload) && !e.immune[QUICBlock] {
+	if quicx.MatchesTSPUFingerprint(pkt.UDP.DstPort, pkt.UDP.Payload) && !e.isImmune(QUICBlock) {
 		if d.failRoll(QUICBlock) {
-			e.immune[QUICBlock] = true
+			e.setImmune(QUICBlock)
 		} else {
 			d.stats.Triggers[QUICBlock]++
 			d.ct.setBlock(e, QUICBlock, now, 0, nil)

@@ -1,0 +1,229 @@
+package tspu
+
+import (
+	"fmt"
+	"testing"
+
+	"tspusim/internal/netem"
+	"tspusim/internal/packet"
+	"tspusim/internal/sim"
+	"tspusim/internal/tlsx"
+)
+
+// The fast datapath (FlowKey4 conntrack, pooled entries, ExtractSNI +
+// ClassifyBytes) must be behaviorally indistinguishable from the retained
+// reference implementation (string SNI parse + Contains). These property
+// tests drive the same seeded packet stream through a fast and a slow-path
+// device and require byte-identical outcomes: same action per packet, same
+// rewritten wire bytes, same counters. The conformance differential suite
+// (internal/conformance) is the second, independent guard: it compares the
+// fast device against a paper-derived oracle that shares no code with it.
+
+func equivDevice(seed uint64, slow bool) *Device {
+	s := sim.New()
+	d := NewDevice(Config{
+		Sim:      s,
+		LocalDir: netem.AtoB,
+		Rand:     sim.NewRand(seed),
+		FailureRates: map[BlockType]float64{
+			SNI1: 0.05, SNI2: 0.05, SNI4: 0.03, QUICBlock: 0.06, IPBlock: 0.02,
+		},
+	})
+	d.slowPath = slow
+	ctl := NewController(nil)
+	ctl.Register(d)
+	ctl.Update(func(p *Policy) {
+		p.SNI1Domains.Add("facebook.com", "twitter.com", "meduza.io")
+		p.SNI2Domains.Add("play.google.com")
+		p.SNI4Domains.Add("twitter.com", "fbcdn.net")
+		p.ThrottleDomains.Add("twitter.com", "fbcdn.net")
+		p.ThrottleActive = true
+		p.BlockedIPs[packet.MustAddr("198.51.100.7")] = true
+	})
+	return d
+}
+
+// equivStream generates n seeded packets covering every datapath branch:
+// handshakes, trigger ClientHellos (matching and not, mixed case, trailing
+// dots, padded, segmented), payload soup, QUIC initials, blocked-IP traffic,
+// and downstream responses on flows that may hold blocking state.
+func equivStream(seed uint64, n int) []*packet.Packet {
+	rng := sim.NewRand(seed)
+	local := packet.MustAddr("10.0.0.2")
+	remote := packet.MustAddr("203.0.113.10")
+	blocked := packet.MustAddr("198.51.100.7")
+	snis := []string{
+		"facebook.com", "api.twitter.com", "TWITTER.COM", "twitter.com.",
+		"play.google.com", "fbcdn.net", "meduza.io", "example.org",
+		"sub.deep.facebook.com", "notfacebook.com", "",
+	}
+	pkts := make([]*packet.Packet, 0, n)
+	for len(pkts) < n {
+		sport := uint16(20000 + rng.Intn(64)) // few ports => flows accumulate state
+		switch rng.Intn(10) {
+		case 0: // local SYN
+			pkts = append(pkts, packet.NewTCP(local, remote, sport, 443, packet.FlagSYN, 1, 0, nil))
+		case 1: // remote SYN/ACK
+			pkts = append(pkts, packet.NewTCP(remote, local, 443, sport, packet.FlagsSYNACK, 1, 2, nil))
+		case 2: // trigger ClientHello
+			spec := &tlsx.ClientHelloSpec{ServerName: snis[rng.Intn(len(snis))]}
+			if rng.Bool(0.3) {
+				spec.PaddingLen = rng.Intn(600)
+			}
+			if rng.Bool(0.1) {
+				spec.PrependRecord = true
+			}
+			pkts = append(pkts, packet.NewTCP(local, remote, sport, 443, packet.FlagsPSHACK, 2, 2, spec.Build()))
+		case 3: // segmented ClientHello: first segment only
+			ch := (&tlsx.ClientHelloSpec{ServerName: snis[rng.Intn(len(snis))]}).Build()
+			cut := 1 + rng.Intn(len(ch)-1)
+			pkts = append(pkts, packet.NewTCP(local, remote, sport, 443, packet.FlagsPSHACK, 2, 2, ch[:cut]))
+		case 4: // payload soup
+			soup := make([]byte, 1+rng.Intn(512))
+			for i := range soup {
+				soup[i] = byte(rng.Uint64())
+			}
+			pkts = append(pkts, packet.NewTCP(local, remote, sport, 443, packet.FlagsPSHACK, 2, 2, soup))
+		case 5: // downstream data (hits installed SNI-I state)
+			pkts = append(pkts, packet.NewTCP(remote, local, 443, sport, packet.FlagsPSHACK, 9, 9, []byte("HTTP/1.1 200 OK")))
+		case 6: // upstream data on a possibly-blocked flow
+			pkts = append(pkts, packet.NewTCP(local, remote, sport, 443, packet.FlagsPSHACK, 9, 9, make([]byte, rng.Intn(1400))))
+		case 7: // QUIC-shaped UDP
+			pay := make([]byte, 1200)
+			pay[0] = 0xc0 // long header, v1-ish first byte
+			for i := 1; i < 16; i++ {
+				pay[i] = byte(rng.Uint64())
+			}
+			pkts = append(pkts, packet.NewUDP(local, remote, sport, 443, pay))
+		case 8: // blocked-IP traffic, both shapes
+			if rng.Bool(0.5) {
+				pkts = append(pkts, packet.NewTCP(local, blocked, sport, 443, packet.FlagSYN, 1, 0, nil))
+			} else {
+				pkts = append(pkts, packet.NewTCP(local, blocked, sport, 443, packet.FlagsPSHACK, 3, 3, []byte("GET /")))
+			}
+		case 9: // bare ACKs (restart rule) and remote SYN (role confusion)
+			if rng.Bool(0.5) {
+				pkts = append(pkts, packet.NewTCP(remote, local, 443, sport, packet.FlagACK, 5, 5, nil))
+			} else {
+				pkts = append(pkts, packet.NewTCP(remote, local, 443, sport, packet.FlagSYN, 5, 0, nil))
+			}
+		}
+	}
+	return pkts
+}
+
+func equivDir(p *packet.Packet) netem.Direction {
+	if p.IP.Src == packet.MustAddr("10.0.0.2") {
+		return netem.AtoB
+	}
+	return netem.BtoA
+}
+
+// runEquiv pushes the stream through one device and returns a log line per
+// packet: the action plus the (possibly rewritten) wire bytes.
+func runEquiv(d *Device, stream []*packet.Packet) []string {
+	pipe := nullPipe{s: d.cfg.Sim}
+	log := make([]string, 0, len(stream))
+	for _, src := range stream {
+		p := src.Clone() // devices may rewrite; keep the stream pristine
+		act := d.Handle(pipe, p, equivDir(p))
+		wire, err := p.Marshal()
+		if err != nil {
+			wire = []byte(err.Error())
+		}
+		log = append(log, fmt.Sprintf("%v %x", act, wire))
+	}
+	return log
+}
+
+func TestFastSlowPathEquivalence(t *testing.T) {
+	for seed := uint64(1); seed <= 5; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			stream := equivStream(seed, 1200)
+			fast := equivDevice(seed, false)
+			slow := equivDevice(seed, true)
+			fastLog := runEquiv(fast, stream)
+			slowLog := runEquiv(slow, stream)
+			for i := range fastLog {
+				if fastLog[i] != slowLog[i] {
+					t.Fatalf("packet %d diverged:\nfast: %s\nslow: %s", i, fastLog[i], slowLog[i])
+				}
+			}
+			fs, ss := fast.Stats(), slow.Stats()
+			if fs.Handled != ss.Handled || fs.Dropped != ss.Dropped ||
+				fs.Rewritten != ss.Rewritten || fs.Throttled != ss.Throttled {
+				t.Fatalf("stats diverged: fast %+v slow %+v", fs, ss)
+			}
+			for _, typ := range []BlockType{SNI1, SNI2, SNI3, SNI4, QUICBlock, IPBlock} {
+				if fs.Triggers[typ] != ss.Triggers[typ] {
+					t.Fatalf("%v triggers: fast %d slow %d", typ, fs.Triggers[typ], ss.Triggers[typ])
+				}
+				if fs.Misses[typ] != ss.Misses[typ] {
+					t.Fatalf("%v misses: fast %d slow %d", typ, fs.Misses[typ], ss.Misses[typ])
+				}
+			}
+		})
+	}
+}
+
+// TestClassifyBytesEquivalence pins Policy.ClassifyBytes == Policy.Classify
+// and DomainSet.Match == DomainSet.Contains over ASCII inputs (all that DNS
+// carries on the wire), including the case-folding and trailing-dot paths.
+func TestClassifyBytesEquivalence(t *testing.T) {
+	p := NewPolicy()
+	p.SNI1Domains.Add("facebook.com", "Meduza.IO")
+	p.SNI2Domains.Add("play.google.com")
+	p.SNI4Domains.Add("fbcdn.net")
+	p.ThrottleDomains.Add("twitter.com")
+	p.ThrottleActive = true
+	inputs := []string{
+		"facebook.com", "www.facebook.com", "FACEBOOK.COM", "FaceBook.Com.",
+		"meduza.io", "notfacebook.com", "facebook.com.extra", "com",
+		"play.google.com", "x.play.google.com", "google.com", "twitter.com",
+		"API.TWITTER.COM.", "fbcdn.net", "", ".", "..", "a.b.c.d.e.f",
+	}
+	for _, in := range inputs {
+		want := p.Classify(in)
+		got := p.ClassifyBytes([]byte(in))
+		if got != want {
+			t.Errorf("ClassifyBytes(%q) = %+v, Classify = %+v", in, got, want)
+		}
+	}
+}
+
+func TestMatchDoesNotMutateInput(t *testing.T) {
+	s := NewDomainSet("twitter.com")
+	in := []byte("API.TWITTER.COM")
+	if !s.Match(in) {
+		t.Fatal("Match missed")
+	}
+	if string(in) != "API.TWITTER.COM" {
+		t.Fatalf("Match mutated its input to %q", in)
+	}
+}
+
+// TestReassembleAblationStillCatchesSegmentation guards the one datapath the
+// fast SNI path must not change: with ReassembleTCP the device still detects
+// a ClientHello split across segments.
+func TestReassembleAblationStillCatchesSegmentation(t *testing.T) {
+	s := sim.New()
+	d := NewDevice(Config{Sim: s, LocalDir: netem.AtoB, ReassembleTCP: true})
+	ctl := NewController(nil)
+	ctl.Register(d)
+	ctl.Update(func(p *Policy) { p.SNI1Domains.Add("facebook.com") })
+	pipe := nullPipe{s: s}
+	ch := (&tlsx.ClientHelloSpec{ServerName: "facebook.com"}).Build()
+	local := packet.MustAddr("10.0.0.2")
+	remote := packet.MustAddr("203.0.113.10")
+	for off := 0; off < len(ch); off += 16 {
+		end := off + 16
+		if end > len(ch) {
+			end = len(ch)
+		}
+		d.Handle(pipe, packet.NewTCP(local, remote, 40000, 443, packet.FlagsPSHACK, uint32(off), 1, ch[off:end]), netem.AtoB)
+	}
+	if d.Stats().Triggers[SNI1] != 1 {
+		t.Fatalf("reassembling device saw %d SNI-I triggers, want 1", d.Stats().Triggers[SNI1])
+	}
+}

@@ -133,9 +133,9 @@ func (p *capturePipe) After(d time.Duration, fn func()) { p.s.After(d, fn) }
 //
 // Run with: go test -fuzz=FuzzFragEngine ./internal/tspu
 func FuzzFragEngine(f *testing.F) {
-	f.Add([]byte{0, 1, 1, 64, 8, 1, 0, 64})             // two fragments, complete in order
-	f.Add([]byte{8, 1, 0, 64, 0, 1, 1, 64})             // complete, final first
-	f.Add([]byte{0, 2, 1, 64, 0, 2, 1, 64})             // duplicate => poisoned queue
+	f.Add([]byte{0, 1, 1, 64, 8, 1, 0, 64})              // two fragments, complete in order
+	f.Add([]byte{8, 1, 0, 64, 0, 1, 1, 64})              // complete, final first
+	f.Add([]byte{0, 2, 1, 64, 0, 2, 1, 64})              // duplicate => poisoned queue
 	f.Add([]byte{0, 1, 1, 7, 8, 1, 1, 200, 16, 1, 0, 9}) // TTL rewrite material
 	f.Fuzz(func(t *testing.T, data []byte) {
 		s := sim.New()
@@ -219,8 +219,7 @@ func TestConntrackInvariants(t *testing.T) {
 		} else {
 			p = packet.NewTCP(remote, local, 443, 1000, flags, 1, 1, nil)
 		}
-		key := packet.FlowOf(p).Canonical()
-		e := ct.observe(p, key, fromLocal, now)
+		e := ct.observe(p, fromLocal, now)
 		if e == nil {
 			return false
 		}

@@ -14,6 +14,7 @@
 package tspu
 
 import (
+	"bytes"
 	"net/netip"
 	"sort"
 	"strings"
@@ -66,9 +67,15 @@ func (b BlockType) String() string {
 }
 
 // DomainSet matches fully-qualified names exactly and any subdomain of an
-// entry (twitter.com matches api.twitter.com).
+// entry (twitter.com matches api.twitter.com). Entries are stored lowercase
+// in a string-keyed set; the per-packet path queries it through Match, whose
+// byte-slice lookups compile to map accesses without a string conversion
+// allocating. Like the rest of the simulator, a DomainSet is not safe for
+// concurrent use (Match reuses a scratch buffer for case folding).
 type DomainSet struct {
 	exact map[string]bool
+	// lower is Match's case-normalization scratch, reused across calls.
+	lower []byte
 }
 
 // NewDomainSet builds a set from entries.
@@ -92,17 +99,75 @@ func (s *DomainSet) Remove(domains ...string) {
 	}
 }
 
+// asciiLower lower-cases ASCII letters only. Lookups fold with this rather
+// than strings.ToLower so Contains and Match agree on every input: Unicode
+// folding can alias into ASCII (U+212A "K" lowers to "k"), which would let a
+// crafted SNI match a set entry under one path and not the other. DNS names
+// on the wire are ASCII, so real lookups are unaffected.
+func asciiLower(s string) string {
+	for i := 0; i < len(s); i++ {
+		if c := s[i]; 'A' <= c && c <= 'Z' {
+			b := []byte(s)
+			for j := i; j < len(b); j++ {
+				if c := b[j]; 'A' <= c && c <= 'Z' {
+					b[j] = c + ('a' - 'A')
+				}
+			}
+			return string(b)
+		}
+	}
+	return s
+}
+
 // Contains reports whether name or any parent domain of name is in the set.
 func (s *DomainSet) Contains(name string) bool {
 	if s == nil {
 		return false
 	}
-	name = strings.ToLower(strings.TrimSuffix(name, "."))
+	name = asciiLower(strings.TrimSuffix(name, "."))
 	for name != "" {
 		if s.exact[name] {
 			return true
 		}
 		i := strings.IndexByte(name, '.')
+		if i < 0 {
+			return false
+		}
+		name = name[i+1:]
+	}
+	return false
+}
+
+// Match reports whether name (raw SNI bytes: any ASCII case, optional
+// trailing dot) or any parent domain of it is in the set. It is the
+// allocation-free hot-path form of Contains: suffix candidates index the set
+// as byte slices (m[string(b)] map accesses do not allocate), and case
+// folding — ASCII only, which is all DNS names on the wire can carry — runs
+// in a scratch buffer instead of strings.ToLower. Match never mutates name.
+func (s *DomainSet) Match(name []byte) bool {
+	if s == nil || len(s.exact) == 0 {
+		return false
+	}
+	if n := len(name); n > 0 && name[n-1] == '.' {
+		name = name[:n-1]
+	}
+	for i := 0; i < len(name); i++ {
+		if c := name[i]; 'A' <= c && c <= 'Z' {
+			s.lower = append(s.lower[:0], name...)
+			for j := i; j < len(s.lower); j++ {
+				if c := s.lower[j]; 'A' <= c && c <= 'Z' {
+					s.lower[j] = c + ('a' - 'A')
+				}
+			}
+			name = s.lower
+			break
+		}
+	}
+	for len(name) > 0 {
+		if s.exact[string(name)] {
+			return true
+		}
+		i := bytes.IndexByte(name, '.')
 		if i < 0 {
 			return false
 		}
@@ -214,6 +279,21 @@ func (p *Policy) Classify(domain string) Classification {
 		SNI4: p.SNI4Domains.Contains(domain),
 	}
 	if p.ThrottleActive && p.ThrottleDomains.Contains(domain) {
+		c.Throttle = true
+	}
+	return c
+}
+
+// ClassifyBytes is the allocation-free form of Classify for SNI bytes
+// aliasing a packet payload. It matches Classify on every ASCII input (DNS
+// names are ASCII on the wire); TestClassifyBytesEquivalence pins that.
+func (p *Policy) ClassifyBytes(domain []byte) Classification {
+	c := Classification{
+		SNI1: p.SNI1Domains.Match(domain),
+		SNI2: p.SNI2Domains.Match(domain),
+		SNI4: p.SNI4Domains.Match(domain),
+	}
+	if p.ThrottleActive && p.ThrottleDomains.Match(domain) {
 		c.Throttle = true
 	}
 	return c

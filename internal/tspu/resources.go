@@ -21,7 +21,7 @@ type capacityState struct {
 	maxFlows int
 	// fifo holds insertion order for pressure eviction; stale keys are
 	// skipped at pop time.
-	fifo []packet.FlowKey
+	fifo []packet.FlowKey4
 	// pressureEvictions counts entries evicted to make room.
 	pressureEvictions int
 }
@@ -41,7 +41,7 @@ func (d *Device) PressureEvictions() int { return d.ct.cap.pressureEvictions }
 // loop always consumes one queued key per iteration (the just-inserted key
 // terminates it), so it cannot spin even when the table holds entries the
 // queue no longer covers.
-func (ct *conntrack) noteInsert(key packet.FlowKey) {
+func (ct *conntrack) noteInsert(key packet.FlowKey4) {
 	c := &ct.cap
 	c.fifo = append(c.fifo, key)
 	if c.maxFlows <= 0 {
@@ -56,8 +56,9 @@ func (ct *conntrack) noteInsert(key packet.FlowKey) {
 			c.fifo = append(c.fifo, victim)
 			return
 		}
-		if _, live := ct.table[victim]; live {
+		if ve, live := ct.table[victim]; live {
 			delete(ct.table, victim)
+			ct.release(ve)
 			c.pressureEvictions++
 		}
 	}
@@ -71,6 +72,7 @@ func (ct *conntrack) Sweep(now time.Duration) int {
 	for k, e := range ct.table {
 		if now >= e.expires {
 			delete(ct.table, k)
+			ct.release(e)
 			n++
 		}
 	}

@@ -1,0 +1,68 @@
+package tspu
+
+import (
+	"bytes"
+	"testing"
+
+	"tspusim/internal/tlsx"
+)
+
+// FuzzSNIExtract differentially fuzzes the zero-allocation SNI fast path the
+// device now runs (tlsx.ExtractSNI + Policy.ClassifyBytes) against the
+// retained reference (tlsx.ParseClientHello + Policy.Classify) on arbitrary
+// bytes. Any input where the two disagree — on whether an SNI exists, on its
+// bytes, or on the resulting classification — is a datapath divergence the
+// equivalence property tests might not have generated.
+//
+// Run with: go test -fuzz=FuzzSNIExtract ./internal/tspu
+func FuzzSNIExtract(f *testing.F) {
+	seeds := []*tlsx.ClientHelloSpec{
+		{ServerName: "twitter.com"},
+		{ServerName: "API.TWITTER.COM."},
+		{ServerName: "play.google.com", ALPN: []string{"h2", "http/1.1"}},
+		{ServerName: "facebook.com", PaddingLen: 300},
+		{ServerName: "fbcdn.net", PrependRecord: true},
+		{ServerName: "x.org", SessionID: bytes.Repeat([]byte{9}, 32)},
+		{ECH: true},
+		{},
+	}
+	for _, s := range seeds {
+		b := s.Build()
+		f.Add(b)
+		if len(b) > 8 {
+			f.Add(b[:len(b)/2]) // truncated handshake
+			f.Add(b[:5])        // bare record header
+		}
+	}
+	f.Add([]byte{0x16})
+	f.Add(bytes.Repeat([]byte{0xab}, 64))
+
+	p := NewPolicy()
+	p.SNI1Domains.Add("facebook.com", "twitter.com")
+	p.SNI2Domains.Add("play.google.com")
+	p.SNI4Domains.Add("fbcdn.net")
+	p.ThrottleDomains.Add("twitter.com")
+	p.ThrottleActive = true
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		sni, found := tlsx.ExtractSNI(data)
+		info, err := tlsx.ParseClientHello(data)
+		refFound := err == nil && info.ServerName != ""
+		if found != refFound {
+			t.Fatalf("ExtractSNI found=%v but ParseClientHello found=%v (err=%v)", found, refFound, err)
+		}
+		if !found {
+			return
+		}
+		if string(sni) != info.ServerName {
+			t.Fatalf("ExtractSNI = %q, ParseClientHello = %q", sni, info.ServerName)
+		}
+		// The classification the device acts on must agree too (this covers
+		// Match vs Contains on whatever byte soup the SNI field carries —
+		// including non-ASCII bytes, where both sides must still agree because
+		// the set is pure ASCII).
+		if got, want := p.ClassifyBytes(sni), p.Classify(info.ServerName); got != want {
+			t.Fatalf("ClassifyBytes(%q) = %+v, Classify = %+v", sni, got, want)
+		}
+	})
+}
