@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: all check vet lint build test race conformance cover bench bench-all bench-update fleet-smoke fuzz-smoke
+.PHONY: all check vet lint vet-hotpath escapes escapes-update build test race race-focus conformance cover bench bench-all bench-update fleet-smoke fuzz-smoke
 
 # Benchmarks gated by the regression harness (hot-path device benches, fleet
 # orchestration, and the ablations). BENCH_COUNT samples each; perfstat takes
@@ -16,17 +16,37 @@ BENCH_TIME ?= 0.2s
 
 all: check
 
-check: vet lint build test conformance race
+check: vet lint escapes build test conformance race
 
 vet:
 	$(GO) vet ./...
 
-# tspu-vet enforces the determinism contract: no wall clock, no ambient
-# randomness, no map-order-dependent output. Exceptions need a reasoned
-# //tspuvet:allow directive, and unused directives fail the build.
+# tspu-vet enforces the determinism contract (no wall clock, no ambient
+# randomness, no map-order-dependent output) and the hot-path contract
+# (no allocating constructs reachable from a //tspuvet:hotpath root, sound
+# sync in the worker pool). Exceptions need a reasoned //tspuvet:allow
+# directive, and unused directives fail the build.
 lint:
 	$(GO) build -o /tmp/tspu-vet ./cmd/tspu-vet
 	/tmp/tspu-vet ./...
+
+# vet-hotpath runs only the hot-path allocation/purity analyzer — the fast
+# inner loop while working on per-packet code.
+vet-hotpath:
+	$(GO) build -o /tmp/tspu-vet ./cmd/tspu-vet
+	/tmp/tspu-vet -walltime=false -globalrand=false -maporder=false -synccheck=false ./...
+
+# escapes is the compiler-backed half of the hot-path contract: diff the
+# escape-analysis diagnostics of the annotated packages against the
+# committed ESCAPES_baseline.json. Any new heap escape fails;
+# escapes-update records a reviewed change (commit the diff).
+escapes:
+	$(GO) build -o /tmp/tspu-vet ./cmd/tspu-vet
+	/tmp/tspu-vet -escapes
+
+escapes-update:
+	$(GO) build -o /tmp/tspu-vet ./cmd/tspu-vet
+	/tmp/tspu-vet -escapes -update
 
 build:
 	$(GO) build ./...
@@ -36,6 +56,12 @@ test:
 
 race:
 	$(GO) test -race ./...
+
+# race-focus is the synccheck cross-check: the two packages with real
+# concurrency (the fleet worker pool and the conformance suite that drives
+# it) under the race detector with live (uncached) runs.
+race-focus:
+	$(GO) test -race -count=1 ./internal/fleet/... ./internal/conformance/...
 
 # Model-based conformance: 1,000 seeded scenarios replayed through the
 # device and the paper-derived oracle (zero divergences required), golden

@@ -1,7 +1,8 @@
-// Command tspu-vet enforces the determinism contract of DESIGN.md: every
-// experiment's output must be a pure function of the lab seed. It runs four
-// analyzers — walltime, globalrand, maporder, allowdirective — over the
-// module (see internal/lint for what each forbids and why).
+// Command tspu-vet enforces the determinism and hot-path contracts of
+// DESIGN.md: every experiment's output must be a pure function of the lab
+// seed, and the per-packet path must not allocate. It runs six analyzers —
+// walltime, globalrand, maporder, hotpath, synccheck, allowdirective — over
+// the module (see internal/lint for what each forbids and why).
 //
 // Standalone, over package patterns (the make lint target):
 //
@@ -12,9 +13,18 @@
 //
 //	go vet -vettool=$(which tspu-vet) ./...
 //
+// The escape-analysis gate compares the compiler's heap-escape diagnostics
+// for the annotated hot-path packages against a committed baseline:
+//
+//	tspu-vet -escapes            # fail on any escape not in ESCAPES_baseline.json
+//	tspu-vet -escapes -update    # refresh the baseline after a reviewed change
+//
 // Violations that are deliberate carry an inline justification:
 //
 //	start := time.Now() //tspuvet:allow walltime: orchestrator metrics are diagnostic only
+//
+// Hot-path roots are declared with //tspuvet:hotpath on the function's doc
+// comment; //tspuvet:coldpath <reason> cuts a callee out of the contract.
 //
 // tspu-vet exits non-zero if any diagnostic survives suppression; an unused
 // or malformed //tspuvet:allow is itself a diagnostic, so the allowlist
@@ -26,16 +36,24 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
-	"go/importer"
-	"go/token"
-	"io"
 	"os"
+	"runtime"
 	"strings"
 
 	"tspusim/internal/lint"
 	"tspusim/internal/lint/analysis"
 	"tspusim/internal/lint/driver"
+	"tspusim/internal/lint/escape"
 )
+
+// hotPathPackages is the default scope of the escape gate: the packages
+// carrying //tspuvet:hotpath annotations.
+var hotPathPackages = []string{
+	"./internal/sim",
+	"./internal/packet",
+	"./internal/tlsx",
+	"./internal/tspu",
+}
 
 func main() {
 	// The go command probes vet tools before use: `tspu-vet -V=full` must
@@ -57,13 +75,22 @@ func main() {
 		enabled[a.Name] = fs.Bool(a.Name, true, "enable the "+a.Name+" analyzer: "+a.Doc)
 	}
 	jsonFlag := fs.Bool("json", false, "emit JSON diagnostics instead of text")
+	escapesFlag := fs.Bool("escapes", false, "run the escape-analysis gate instead of the analyzers")
+	updateFlag := fs.Bool("update", false, "with -escapes: rewrite the baseline instead of diffing against it")
+	baselineFlag := fs.String("baseline", "ESCAPES_baseline.json", "with -escapes: baseline file")
 	fs.Int("c", -1, "display offending line with this many lines of context (accepted for go vet compatibility)")
 	fs.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: tspu-vet [flags] [package pattern ...]\n")
+		fmt.Fprintf(os.Stderr, "       tspu-vet -escapes [-update] [package pattern ...]\n")
 		fmt.Fprintf(os.Stderr, "       tspu-vet [flags] unit.cfg   (go vet -vettool protocol)\n\n")
 		fs.PrintDefaults()
 	}
 	fs.Parse(os.Args[1:])
+	args := fs.Args()
+
+	if *escapesFlag {
+		os.Exit(runEscapes(args, *baselineFlag, *updateFlag))
+	}
 
 	var analyzers []*analysis.Analyzer
 	ran := map[string]bool{}
@@ -74,9 +101,10 @@ func main() {
 		}
 	}
 
-	args := fs.Args()
 	if len(args) == 1 && strings.HasSuffix(args[0], ".cfg") {
-		os.Exit(runUnitchecker(args[0], analyzers, ran, *jsonFlag))
+		os.Exit(driver.RunUnitchecker(args[0], analyzers, ran, func(diags []driver.Diagnostic) {
+			emit(diags, *jsonFlag)
+		}))
 	}
 	if len(args) == 0 {
 		args = []string{"./..."}
@@ -90,6 +118,49 @@ func main() {
 	if len(diags) > 0 {
 		os.Exit(1)
 	}
+}
+
+// runEscapes implements the escape-analysis gate. Exit codes: 0 clean,
+// 1 failure (new escape, or no baseline to diff against).
+func runEscapes(patterns []string, baselinePath string, update bool) int {
+	if len(patterns) == 0 {
+		patterns = hotPathPackages
+	}
+	current, err := escape.Collect("", patterns)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "tspu-vet -escapes:", err)
+		return 1
+	}
+	if update {
+		if err := current.Save(baselinePath); err != nil {
+			fmt.Fprintln(os.Stderr, "tspu-vet -escapes:", err)
+			return 1
+		}
+		fmt.Printf("tspu-vet: wrote %s (%d escapes under %s)\n", baselinePath, len(current.Escapes), current.GoVersion)
+		return 0
+	}
+	baseline, err := escape.Load(baselinePath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "tspu-vet -escapes: %v (run `tspu-vet -escapes -update` to create the baseline)\n", err)
+		return 1
+	}
+	if baseline.GoVersion != runtime.Version() {
+		fmt.Fprintf(os.Stderr, "tspu-vet -escapes: warning: baseline recorded under %s, running %s; escape analysis can differ across toolchains\n",
+			baseline.GoVersion, runtime.Version())
+	}
+	added, removed := escape.Diff(baseline, current)
+	for _, r := range removed {
+		fmt.Fprintf(os.Stderr, "tspu-vet -escapes: note: baseline escape no longer produced: %s (refresh with -update)\n", r)
+	}
+	if len(added) > 0 {
+		for _, a := range added {
+			fmt.Fprintf(os.Stderr, "tspu-vet -escapes: new heap escape: %s\n", a)
+		}
+		fmt.Fprintf(os.Stderr, "tspu-vet -escapes: %d new heap escape(s) not in %s; fix them or record the decision with -update\n",
+			len(added), baselinePath)
+		return 1
+	}
+	return 0
 }
 
 func emit(diags []driver.Diagnostic, asJSON bool) {
@@ -111,84 +182,6 @@ func emit(diags []driver.Diagnostic, asJSON bool) {
 	}
 }
 
-// unitConfig mirrors the JSON configuration the go command hands a vet tool
-// for each package (x/tools' unitchecker.Config).
-type unitConfig struct {
-	ID                        string
-	Compiler                  string
-	Dir                       string
-	ImportPath                string
-	GoVersion                 string
-	GoFiles                   []string
-	NonGoFiles                []string
-	IgnoredFiles              []string
-	ImportMap                 map[string]string
-	PackageFile               map[string]string
-	Standard                  map[string]bool
-	PackageVetx               map[string]string
-	VetxOnly                  bool
-	VetxOutput                string
-	SucceedOnTypecheckFailure bool
-}
-
-// runUnitchecker analyzes one package under the go vet protocol: read the
-// .cfg, type-check against the export data the go command already built,
-// report diagnostics on stderr, and write the (empty — the suite exchanges
-// no facts) .vetx output the go command expects. Exit codes follow cmd/vet:
-// 0 clean, 1 tool failure, 2 diagnostics.
-func runUnitchecker(cfgFile string, analyzers []*analysis.Analyzer, ran map[string]bool, asJSON bool) int {
-	data, err := os.ReadFile(cfgFile)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "tspu-vet:", err)
-		return 1
-	}
-	var cfg unitConfig
-	if err := json.Unmarshal(data, &cfg); err != nil {
-		fmt.Fprintf(os.Stderr, "tspu-vet: parsing %s: %v\n", cfgFile, err)
-		return 1
-	}
-	writeVetx := func() {
-		if cfg.VetxOutput != "" {
-			os.WriteFile(cfg.VetxOutput, nil, 0o666)
-		}
-	}
-	if cfg.VetxOnly {
-		// Facts-only request for a dependency; the suite has no facts.
-		writeVetx()
-		return 0
-	}
-	compiler := cfg.Compiler
-	if compiler == "" {
-		compiler = "gc"
-	}
-	fset := token.NewFileSet()
-	imp := importer.ForCompiler(fset, compiler, func(path string) (io.ReadCloser, error) {
-		if resolved, ok := cfg.ImportMap[path]; ok {
-			path = resolved
-		}
-		file, ok := cfg.PackageFile[path]
-		if !ok {
-			return nil, fmt.Errorf("no export data for %q", path)
-		}
-		return os.Open(file)
-	})
-	diags, err := driver.CheckFiles(fset, imp, cfg.ImportPath, cfg.GoFiles, analyzers, ran)
-	if err != nil {
-		if cfg.SucceedOnTypecheckFailure && strings.Contains(err.Error(), "type-checking") {
-			writeVetx()
-			return 0
-		}
-		fmt.Fprintln(os.Stderr, "tspu-vet:", err)
-		return 1
-	}
-	writeVetx()
-	emit(diags, asJSON)
-	if len(diags) > 0 {
-		return 2
-	}
-	return 0
-}
-
 // printVersion emits the identity line the go command hashes for its build
 // cache, in the same shape x/tools' unitchecker uses.
 func printVersion() {
@@ -203,7 +196,8 @@ func printVersion() {
 }
 
 // printFlags describes the tool's flags as JSON so the go command can vet
-// which command-line flags it may forward.
+// which command-line flags it may forward. The escape-gate flags are
+// standalone-only and deliberately absent: go vet must never forward them.
 func printFlags() {
 	type jsonFlag struct {
 		Name  string

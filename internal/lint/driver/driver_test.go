@@ -1,6 +1,12 @@
 package driver_test
 
 import (
+	"encoding/json"
+	"errors"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
 	"testing"
 
 	"tspusim/internal/lint"
@@ -41,5 +47,209 @@ func TestCheckFleetSuppressedByDirectives(t *testing.T) {
 	}
 	for _, d := range diags {
 		t.Errorf("unexpected diagnostic: %s", d)
+	}
+}
+
+// writeModule lays out a synthetic module for black-box driver runs.
+func writeModule(t *testing.T, files map[string]string) string {
+	t.Helper()
+	dir := t.TempDir()
+	for name, content := range files {
+		path := filepath.Join(dir, name)
+		if err := os.MkdirAll(filepath.Dir(path), 0o777); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(content), 0o666); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return dir
+}
+
+const dirtyA = `package synth
+
+import "time"
+
+func A() time.Time {
+	return time.Now()
+}
+
+//tspuvet:hotpath
+func Hot(s string) string {
+	return "x" + s
+}
+`
+
+const dirtyB = `package synth
+
+import "time"
+
+func C() time.Duration {
+	return time.Since(time.Time{}) //tspuvet:allow walltime: fixture exercising suppression
+}
+
+//tspuvet:allow maporder: stale directive that suppresses nothing
+func Unused() {}
+`
+
+// The multichecker over a synthetic module: diagnostics from all files
+// arrive sorted by position, suppression drops the excused violation, and
+// the stale directive surfaces as its own finding.
+func TestCheckSyntheticModuleOrdering(t *testing.T) {
+	if testing.Short() {
+		t.Skip("shells out to the go command")
+	}
+	dir := writeModule(t, map[string]string{
+		"go.mod": "module synthmod\n\ngo 1.22\n",
+		"a.go":   dirtyA,
+		"b.go":   dirtyB,
+	})
+	diags, err := driver.Check(dir, []string{"./..."}, lint.Analyzers())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got []string
+	for _, d := range diags {
+		got = append(got, filepath.Base(d.Pos.Filename)+":"+d.Analyzer)
+	}
+	want := []string{"a.go:walltime", "a.go:hotpath", "b.go:allowdirective"}
+	if len(got) != len(want) {
+		t.Fatalf("diagnostics = %v, want analyzers %v", diags, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("diag[%d] = %s, want %s (full: %s)", i, got[i], want[i], diags[i])
+		}
+	}
+	for i := 1; i < len(diags); i++ {
+		a, b := diags[i-1].Pos, diags[i].Pos
+		if a.Filename > b.Filename || (a.Filename == b.Filename && a.Line > b.Line) {
+			t.Errorf("diagnostics out of order: %s before %s", diags[i-1], diags[i])
+		}
+	}
+}
+
+// buildVet compiles the real tspu-vet binary for black-box exit-code tests.
+func buildVet(t *testing.T) string {
+	t.Helper()
+	bin := filepath.Join(t.TempDir(), "tspu-vet")
+	out, err := exec.Command("go", "build", "-o", bin, "tspusim/cmd/tspu-vet").CombinedOutput()
+	if err != nil {
+		t.Fatalf("building tspu-vet: %v\n%s", err, out)
+	}
+	return bin
+}
+
+func exitCode(t *testing.T, err error) int {
+	t.Helper()
+	if err == nil {
+		return 0
+	}
+	var ee *exec.ExitError
+	if !errors.As(err, &ee) {
+		t.Fatalf("not an exit error: %v", err)
+	}
+	return ee.ExitCode()
+}
+
+// Exit codes through both entry points: standalone (0 clean / 1 dirty) and
+// the go vet -vettool protocol, where the go command itself writes the .cfg
+// files, invokes the tool per package, and surfaces its exit status — the
+// full unitchecker round-trip.
+func TestExitCodesAndVettoolRoundTrip(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and runs the tspu-vet binary")
+	}
+	bin := buildVet(t)
+	dirty := writeModule(t, map[string]string{
+		"go.mod": "module synthmod\n\ngo 1.22\n",
+		"a.go":   dirtyA,
+	})
+	clean := writeModule(t, map[string]string{
+		"go.mod": "module synthclean\n\ngo 1.22\n",
+		"a.go":   "package synth\n\nfunc Fine() int { return 1 }\n",
+	})
+
+	run := func(dir string, args ...string) (int, string) {
+		cmd := exec.Command(args[0], args[1:]...)
+		cmd.Dir = dir
+		out, err := cmd.CombinedOutput()
+		return exitCode(t, err), string(out)
+	}
+
+	if code, out := run(dirty, bin, "./..."); code != 1 {
+		t.Errorf("standalone on dirty module: exit %d, want 1\n%s", code, out)
+	}
+	if code, out := run(clean, bin, "./..."); code != 0 {
+		t.Errorf("standalone on clean module: exit %d, want 0\n%s", code, out)
+	}
+
+	code, out := run(dirty, "go", "vet", "-vettool="+bin, "./...")
+	if code == 0 {
+		t.Errorf("go vet -vettool on dirty module: exit 0, want nonzero\n%s", out)
+	}
+	if !strings.Contains(out, "walltime") || !strings.Contains(out, "hotpath") {
+		t.Errorf("vettool output missing expected diagnostics:\n%s", out)
+	}
+	if code, out := run(clean, "go", "vet", "-vettool="+bin, "./..."); code != 0 {
+		t.Errorf("go vet -vettool on clean module: exit %d, want 0\n%s", code, out)
+	}
+}
+
+// RunUnitchecker driven directly with a hand-written .cfg: the protocol's
+// exit codes (2 diagnostics, 0 clean, 0 facts-only) and the .vetx output
+// the go command expects, without the go command in the loop.
+func TestRunUnitcheckerCfg(t *testing.T) {
+	dir := t.TempDir()
+	src := filepath.Join(dir, "p.go")
+	if err := os.WriteFile(src, []byte("package p\n\n//tspuvet:hotpath\nfunc Hot() *int { return new(int) }\n"), 0o666); err != nil {
+		t.Fatal(err)
+	}
+	ran := map[string]bool{}
+	for _, a := range lint.Analyzers() {
+		ran[a.Name] = true
+	}
+	writeCfg := func(cfg driver.UnitConfig) string {
+		data, err := json.Marshal(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		path := filepath.Join(dir, cfg.ID+".cfg")
+		if err := os.WriteFile(path, data, 0o666); err != nil {
+			t.Fatal(err)
+		}
+		return path
+	}
+
+	vetx := filepath.Join(dir, "unit.vetx")
+	cfg := writeCfg(driver.UnitConfig{ID: "unit", ImportPath: "synthunit/p", GoFiles: []string{src}, VetxOutput: vetx})
+	var got []driver.Diagnostic
+	code := driver.RunUnitchecker(cfg, lint.Analyzers(), ran, func(d []driver.Diagnostic) { got = d })
+	if code != 2 {
+		t.Errorf("dirty package: exit %d, want 2", code)
+	}
+	if len(got) != 1 || got[0].Analyzer != "hotpath" {
+		t.Errorf("diagnostics = %v, want one hotpath finding", got)
+	}
+	if _, err := os.Stat(vetx); err != nil {
+		t.Errorf("vetx output not written: %v", err)
+	}
+
+	vetxOnly := filepath.Join(dir, "facts.vetx")
+	cfg = writeCfg(driver.UnitConfig{ID: "facts", ImportPath: "synthunit/p", GoFiles: []string{src}, VetxOnly: true, VetxOutput: vetxOnly})
+	if code := driver.RunUnitchecker(cfg, lint.Analyzers(), ran, func([]driver.Diagnostic) {}); code != 0 {
+		t.Errorf("facts-only request: exit %d, want 0", code)
+	}
+	if _, err := os.Stat(vetxOnly); err != nil {
+		t.Errorf("facts-only vetx not written: %v", err)
+	}
+
+	cleanSrc := filepath.Join(dir, "q.go")
+	if err := os.WriteFile(cleanSrc, []byte("package q\n\nfunc Fine() int { return 1 }\n"), 0o666); err != nil {
+		t.Fatal(err)
+	}
+	cfg = writeCfg(driver.UnitConfig{ID: "clean", ImportPath: "synthunit/q", GoFiles: []string{cleanSrc}})
+	if code := driver.RunUnitchecker(cfg, lint.Analyzers(), ran, func([]driver.Diagnostic) {}); code != 0 {
+		t.Errorf("clean package: exit %d, want 0", code)
 	}
 }

@@ -1,0 +1,91 @@
+package driver
+
+import (
+	"encoding/json"
+	"fmt"
+	"go/importer"
+	"go/token"
+	"io"
+	"os"
+	"strings"
+
+	"tspusim/internal/lint/analysis"
+)
+
+// UnitConfig mirrors the JSON configuration the go command hands a vet tool
+// for each package (x/tools' unitchecker.Config).
+type UnitConfig struct {
+	ID                        string
+	Compiler                  string
+	Dir                       string
+	ImportPath                string
+	GoVersion                 string
+	GoFiles                   []string
+	NonGoFiles                []string
+	IgnoredFiles              []string
+	ImportMap                 map[string]string
+	PackageFile               map[string]string
+	Standard                  map[string]bool
+	PackageVetx               map[string]string
+	VetxOnly                  bool
+	VetxOutput                string
+	SucceedOnTypecheckFailure bool
+}
+
+// RunUnitchecker analyzes one package under the go vet protocol: read the
+// .cfg, type-check against the export data the go command already built,
+// emit surviving diagnostics, and write the (empty — the suite exchanges no
+// facts) .vetx output the go command expects. Exit codes follow cmd/vet:
+// 0 clean, 1 tool failure, 2 diagnostics.
+func RunUnitchecker(cfgFile string, analyzers []*analysis.Analyzer, ran map[string]bool, emit func([]Diagnostic)) int {
+	data, err := os.ReadFile(cfgFile)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "tspu-vet:", err)
+		return 1
+	}
+	var cfg UnitConfig
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		fmt.Fprintf(os.Stderr, "tspu-vet: parsing %s: %v\n", cfgFile, err)
+		return 1
+	}
+	writeVetx := func() {
+		if cfg.VetxOutput != "" {
+			os.WriteFile(cfg.VetxOutput, nil, 0o666)
+		}
+	}
+	if cfg.VetxOnly {
+		// Facts-only request for a dependency; the suite has no facts.
+		writeVetx()
+		return 0
+	}
+	compiler := cfg.Compiler
+	if compiler == "" {
+		compiler = "gc"
+	}
+	fset := token.NewFileSet()
+	imp := importer.ForCompiler(fset, compiler, func(path string) (io.ReadCloser, error) {
+		if resolved, ok := cfg.ImportMap[path]; ok {
+			path = resolved
+		}
+		file, ok := cfg.PackageFile[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(file)
+	})
+	diags, err := CheckFiles(fset, imp, cfg.ImportPath, cfg.GoFiles, analyzers, ran)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure && strings.Contains(err.Error(), "type-checking") {
+			writeVetx()
+			return 0
+		}
+		fmt.Fprintln(os.Stderr, "tspu-vet:", err)
+		return 1
+	}
+	writeVetx()
+	emit(diags)
+	if len(diags) > 0 {
+		return 2
+	}
+	return 0
+}

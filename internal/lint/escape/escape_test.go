@@ -1,0 +1,134 @@
+package escape_test
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"tspusim/internal/lint/escape"
+)
+
+func report(escapes ...escape.Escape) *escape.Report {
+	return &escape.Report{GoVersion: "go1.x", Packages: []string{"./p"}, Escapes: escapes}
+}
+
+// The gate's core promise: a heap escape absent from the baseline is
+// reported, a count increase of a known escape is reported, and code motion
+// (same escapes, any order) is not.
+func TestDiffFlagsNewEscape(t *testing.T) {
+	baseline := report(
+		escape.Escape{File: "p/a.go", Message: "moved to heap: x", Count: 1},
+	)
+	current := report(
+		escape.Escape{File: "p/a.go", Message: "moved to heap: x", Count: 1},
+		escape.Escape{File: "p/a.go", Message: "&entry{} escapes to heap", Count: 2},
+	)
+	added, removed := escape.Diff(baseline, current)
+	if len(added) != 1 || len(removed) != 0 {
+		t.Fatalf("added=%v removed=%v, want exactly one added", added, removed)
+	}
+	if want := "p/a.go: &entry{} escapes to heap (x2)"; added[0] != want {
+		t.Errorf("added[0] = %q, want %q", added[0], want)
+	}
+
+	grown := report(
+		escape.Escape{File: "p/a.go", Message: "moved to heap: x", Count: 3},
+	)
+	added, _ = escape.Diff(baseline, grown)
+	if len(added) != 1 {
+		t.Fatalf("count increase not flagged: %v", added)
+	}
+}
+
+func TestDiffCleanAndRemoved(t *testing.T) {
+	baseline := report(
+		escape.Escape{File: "p/a.go", Message: "moved to heap: x", Count: 1},
+		escape.Escape{File: "p/b.go", Message: "leaks param: q", Count: 1},
+	)
+	added, removed := escape.Diff(baseline, baseline)
+	if len(added) != 0 || len(removed) != 0 {
+		t.Fatalf("identical reports must diff clean, got added=%v removed=%v", added, removed)
+	}
+
+	shrunk := report(
+		escape.Escape{File: "p/a.go", Message: "moved to heap: x", Count: 1},
+	)
+	added, removed = escape.Diff(baseline, shrunk)
+	if len(added) != 0 || len(removed) != 1 {
+		t.Fatalf("removed escape must be reported without failing, got added=%v removed=%v", added, removed)
+	}
+}
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	rep := report(
+		escape.Escape{File: "p/a.go", Message: "moved to heap: x", Count: 2},
+	)
+	path := filepath.Join(t.TempDir(), "ESCAPES_baseline.json")
+	if err := rep.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := escape.Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.GoVersion != rep.GoVersion || len(got.Escapes) != 1 || got.Escapes[0] != rep.Escapes[0] {
+		t.Errorf("round trip mismatch: %+v vs %+v", got, rep)
+	}
+}
+
+// Collect runs the real compiler over a synthetic module containing one
+// unmistakable heap escape and one function that must not escape, pinning
+// both the parse of -m output and the normalization.
+func TestCollectSyntheticModule(t *testing.T) {
+	if testing.Short() {
+		t.Skip("shells out to the go command")
+	}
+	dir := t.TempDir()
+	writeFile(t, filepath.Join(dir, "go.mod"), "module synthescape\n\ngo 1.22\n")
+	writeFile(t, filepath.Join(dir, "p", "p.go"), `package p
+
+func Leak() *int {
+	x := 42
+	return &x
+}
+
+func Stays() int {
+	y := 7
+	return y
+}
+`)
+	rep, err := escape.Collect(dir, []string{"./..."})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var found bool
+	for _, e := range rep.Escapes {
+		if e.File == "p/p.go" && e.Message == "moved to heap: x" && e.Count == 1 {
+			found = true
+		}
+		if e.Message == "moved to heap: y" {
+			t.Errorf("non-escaping local reported: %+v", e)
+		}
+	}
+	if !found {
+		t.Errorf("escape of x not collected; report: %+v", rep.Escapes)
+	}
+
+	// The synthetic-new-escape negative test against a live Collect run: a
+	// baseline recorded before the escape was written must fail the gate.
+	baseline := &escape.Report{GoVersion: rep.GoVersion, Packages: rep.Packages}
+	added, _ := escape.Diff(baseline, rep)
+	if len(added) == 0 {
+		t.Error("gate did not fail on a new escape against an empty baseline")
+	}
+}
+
+func writeFile(t *testing.T, path, content string) {
+	t.Helper()
+	if err := os.MkdirAll(filepath.Dir(path), 0o777); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, []byte(content), 0o666); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -37,7 +37,7 @@ import (
 
 // Analyzers returns the full suite in stable order.
 func Analyzers() []*analysis.Analyzer {
-	return []*analysis.Analyzer{Walltime, Globalrand, Maporder, Allowdirective}
+	return []*analysis.Analyzer{Walltime, Globalrand, Maporder, Hotpath, Synccheck, Allowdirective}
 }
 
 // Suppressible names the analyzers a //tspuvet:allow directive may target.
@@ -47,7 +47,12 @@ var Suppressible = map[string]bool{
 	"walltime":   true,
 	"globalrand": true,
 	"maporder":   true,
+	"hotpath":    true,
+	"synccheck":  true,
 }
+
+// suppressibleNames is the sorted human-readable list for diagnostics.
+const suppressibleNames = "globalrand, hotpath, maporder, synccheck, walltime"
 
 const directivePrefix = "//tspuvet:"
 
@@ -77,9 +82,15 @@ func ParseDirectives(fset *token.FileSet, file *ast.File, report func(analysis.D
 				body = strings.TrimSpace(body[:i])
 			}
 			verb, rest, _ := strings.Cut(body, " ")
+			if verb == "hotpath" || verb == "coldpath" {
+				// Hot-path annotations are validated by the hotpath analyzer
+				// itself (attachment, reasons); they are not suppressions.
+				continue
+			}
 			if verb != "allow" {
 				report(analysis.Diagnostic{Pos: c.Pos(), Message: fmt.Sprintf(
-					"unknown tspuvet directive %q (only //tspuvet:allow <analyzer>: <reason> is recognized)", verb)})
+					"unknown tspuvet directive %q (recognized: //tspuvet:allow <analyzer>: <reason>, "+
+						"//tspuvet:hotpath, //tspuvet:coldpath <reason>)", verb)})
 				continue
 			}
 			name, reason, ok := strings.Cut(rest, ":")
@@ -92,7 +103,7 @@ func ParseDirectives(fset *token.FileSet, file *ast.File, report func(analysis.D
 			}
 			if !Suppressible[name] {
 				report(analysis.Diagnostic{Pos: c.Pos(), Message: fmt.Sprintf(
-					"//tspuvet:allow names unknown analyzer %q (suppressible: globalrand, maporder, walltime)", name)})
+					"//tspuvet:allow names unknown analyzer %q (suppressible: %s)", name, suppressibleNames)})
 				continue
 			}
 			if reason == "" {

@@ -22,3 +22,18 @@ func TestMaporder(t *testing.T) {
 func TestAllowdirective(t *testing.T) {
 	analysistest.Run(t, "testdata", lint.Allowdirective, "allowdirective")
 }
+
+func TestHotpath(t *testing.T) {
+	analysistest.Run(t, "testdata", lint.Hotpath, "hotpath")
+}
+
+func TestSynccheck(t *testing.T) {
+	analysistest.Run(t, "testdata", lint.Synccheck, "synccheck")
+}
+
+// TestHotpathRegress is the fault re-injection fixture: a shrunk conntrack
+// with a deliberate fmt.Sprintf on the per-packet path, caught with the full
+// call chain in the diagnostic.
+func TestHotpathRegress(t *testing.T) {
+	analysistest.Run(t, "testdata", lint.Hotpath, "hotpathregress")
+}

@@ -1,0 +1,52 @@
+// Package hotpathregress is the fault re-injection fixture for the hotpath
+// analyzer: a shrunk mirror of internal/tspu's conntrack shape with the one
+// regression PR 4 actually fought — a fmt.Sprintf sneaking into a helper one
+// call below the per-packet entry point — deliberately re-introduced. The
+// golden diagnostic pins both the finding and the call chain that explains it.
+package hotpathregress
+
+import "fmt"
+
+type flowEntry struct {
+	hits  int
+	label string
+}
+
+type conntrack struct {
+	flows map[uint64]*flowEntry
+	free  []*flowEntry
+}
+
+type Device struct {
+	ct conntrack
+}
+
+//tspuvet:hotpath
+func (d *Device) Handle(key uint64, payload []byte) int {
+	e := d.ct.observe(key)
+	e.hits++
+	return e.hits + len(payload)
+}
+
+// observe is the injected regression: labeling the flow on lookup drags
+// fmt.Sprintf into every packet.
+func (c *conntrack) observe(key uint64) *flowEntry {
+	if e := c.flows[key]; e != nil {
+		return e
+	}
+	e := c.alloc()
+	e.label = fmt.Sprintf("flow-%d", key) // want `fmt.Sprintf allocates on the hot path \(reached via Device.Handle → conntrack.observe\)`
+	c.flows[key] = e
+	return e
+}
+
+// alloc refills from the free list; the pool-miss path is the one allocation
+// the real code excuses with a reasoned allow, reproduced here verbatim.
+func (c *conntrack) alloc() *flowEntry {
+	if n := len(c.free); n > 0 {
+		e := c.free[n-1]
+		c.free = c.free[:n-1]
+		return e
+	}
+	return &flowEntry{} //tspuvet:allow hotpath: pool miss refill, amortized across the run // want `&composite literal returned on the hot path escapes`
+}

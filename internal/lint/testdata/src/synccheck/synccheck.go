@@ -1,0 +1,73 @@
+// Package synccheck exercises the three worker-pool synchronization bugs the
+// synccheck analyzer forbids, plus the legal shapes on either side of each
+// rule: pointer passing, zero-value initialization, Add before go, and
+// selects that either have a default or only receive.
+package synccheck
+
+import "sync"
+
+type pool struct {
+	mu    sync.Mutex
+	wg    sync.WaitGroup
+	tasks chan int
+}
+
+// byValue copies the whole pool, locks and all.
+func byValue(p pool) { // want `parameter copies sync.Mutex by value`
+	p.mu.Lock()
+	defer p.mu.Unlock()
+}
+
+// valueRecv copies the receiver's locks on every call.
+func (p pool) valueRecv() {} // want `receiver copies sync.Mutex by value`
+
+// ptrRecv shares one lock state: legal.
+func (p *pool) ptrRecv(f func(*sync.Mutex)) {
+	f(&p.mu)
+}
+
+func copies(p *pool, mu *sync.Mutex) {
+	q := *p // want `assignment copies sync.Mutex by value`
+	_ = q
+	mu2 := *mu // want `assignment copies sync.Mutex by value`
+	_ = mu2
+	var fresh sync.Mutex = sync.Mutex{} // zero-value initialization, not a copy: legal
+	_ = fresh
+	ptr := &p.mu // taking the address shares, not copies: legal
+	_ = ptr
+}
+
+func addInsideGoroutine(p *pool) {
+	go func() {
+		p.wg.Add(1) // want `WaitGroup.Add inside the spawned goroutine races Wait`
+		defer p.wg.Done()
+	}()
+	p.wg.Add(1) // Add before the go statement: legal
+	go func() {
+		defer p.wg.Done()
+		go func() {
+			// A nested goroutine is analyzed at its own go statement, not
+			// attributed to the outer one.
+			work()
+		}()
+	}()
+	p.wg.Wait()
+}
+
+func selects(p *pool, done chan struct{}) {
+	select {
+	case p.tasks <- 1: // want `channel send in select without default can block a pooled worker forever`
+	case <-done:
+	}
+	select {
+	case p.tasks <- 2: // default makes the send droppable: legal
+	default:
+	}
+	select {
+	case v := <-p.tasks: // receive-only select blocks by design: legal
+		_ = v
+	case <-done:
+	}
+}
+
+func work() {}

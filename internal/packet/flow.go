@@ -77,6 +77,8 @@ func addr4(a netip.Addr) uint32 {
 }
 
 // FlowKey4Of extracts the canonical compact flow key of a packet.
+//
+//tspuvet:hotpath
 func FlowKey4Of(p *Packet) FlowKey4 {
 	src, dst := addr4(p.IP.Src), addr4(p.IP.Dst)
 	sp, dp := p.SrcPort(), p.DstPort()

@@ -16,6 +16,31 @@ var (
 	ErrBadHeader   = errors.New("packet: malformed header")
 )
 
+// Detailed failures, predeclared so the zero-alloc marshal/parse paths stay
+// allocation-free even on malformed input: an adversarial flood of bad
+// packets must not perturb the simulator's timing any more than good ones
+// would. Each wraps its base sentinel so errors.Is keeps working; the
+// offending value (length, offset) is omitted from the message — callers
+// that need it still hold the packet.
+var (
+	errTotalTooLong    = errors.New("packet: total length exceeds 65535")
+	errFragNotAligned  = errors.New("packet: fragment offset not multiple of 8")
+	errFragTooLarge    = errors.New("packet: fragment offset too large")
+	errTCPOptionsAlign = errors.New("packet: TCP options length not multiple of 4")
+	errTCPOptionsLong  = errors.New("packet: TCP options too long")
+	errUDPPayloadLong  = errors.New("packet: UDP payload too long")
+	errIPChecksum      = fmt.Errorf("%w: IP header", ErrBadChecksum)
+	errIPTotalLen      = fmt.Errorf("%w: total length", ErrBadHeader)
+	errTCPTruncated    = fmt.Errorf("%w: TCP header", ErrTruncated)
+	errTCPDataOff      = fmt.Errorf("%w: TCP data offset", ErrBadHeader)
+	errTCPChecksum     = fmt.Errorf("%w: TCP", ErrBadChecksum)
+	errUDPTruncated    = fmt.Errorf("%w: UDP header", ErrTruncated)
+	errUDPLength       = fmt.Errorf("%w: UDP length", ErrBadHeader)
+	errUDPChecksum     = fmt.Errorf("%w: UDP", ErrBadChecksum)
+	errICMPTruncated   = fmt.Errorf("%w: ICMP header", ErrTruncated)
+	errICMPChecksum    = fmt.Errorf("%w: ICMP", ErrBadChecksum)
+)
+
 // Marshal serializes the packet to wire bytes with valid IP and transport
 // checksums. Non-first fragments marshal their RawPayload verbatim.
 func (p *Packet) Marshal() ([]byte, error) {
@@ -27,6 +52,8 @@ func (p *Packet) Marshal() ([]byte, error) {
 // that recycles dst (b = b[:0]) pays nothing once the buffer has grown to
 // the working packet size. All header bytes are written explicitly, so dst's
 // stale contents never leak into the output.
+//
+//tspuvet:hotpath
 func (p *Packet) MarshalAppend(dst []byte) ([]byte, error) {
 	plen, err := p.wirePayloadLen()
 	if err != nil {
@@ -34,14 +61,14 @@ func (p *Packet) MarshalAppend(dst []byte) ([]byte, error) {
 	}
 	total := 20 + plen
 	if total > 65535 {
-		return nil, fmt.Errorf("packet: total length %d exceeds 65535", total)
+		return nil, errTotalTooLong
 	}
 	frag := p.IP.FragOffset / 8
 	if p.IP.FragOffset%8 != 0 {
-		return nil, fmt.Errorf("packet: fragment offset %d not multiple of 8", p.IP.FragOffset)
+		return nil, errFragNotAligned
 	}
 	if frag > 0x1fff {
-		return nil, fmt.Errorf("packet: fragment offset %d too large", p.IP.FragOffset)
+		return nil, errFragTooLarge
 	}
 
 	base := len(dst)
@@ -83,15 +110,15 @@ func (p *Packet) wirePayloadLen() (int, error) {
 	case p.TCP != nil:
 		t := p.TCP
 		if len(t.Options)%4 != 0 {
-			return 0, fmt.Errorf("packet: TCP options length %d not multiple of 4", len(t.Options))
+			return 0, errTCPOptionsAlign
 		}
 		if len(t.Options) > 40 {
-			return 0, fmt.Errorf("packet: TCP options too long (%d bytes)", len(t.Options))
+			return 0, errTCPOptionsLong
 		}
 		return 20 + len(t.Options) + len(t.Payload), nil
 	case p.UDP != nil:
 		if 8+len(p.UDP.Payload) > 65535 {
-			return 0, fmt.Errorf("packet: UDP payload too long")
+			return 0, errUDPPayloadLong
 		}
 		return 8 + len(p.UDP.Payload), nil
 	case p.ICMP != nil:
@@ -190,6 +217,8 @@ func Parse(b []byte) (*Packet, error) {
 // capacity of its payload slices: parsing a stream of packets through one
 // scratch Packet is allocation-free once its buffers have grown. On error p
 // is left in an unspecified state.
+//
+//tspuvet:hotpath
 func ParseInto(p *Packet, b []byte) error {
 	if len(b) < 20 {
 		return ErrTruncated
@@ -202,11 +231,11 @@ func ParseInto(p *Packet, b []byte) error {
 		return ErrBadHeader
 	}
 	if checksum(b[:ihl]) != 0 {
-		return fmt.Errorf("%w: IP header", ErrBadChecksum)
+		return errIPChecksum
 	}
 	total := int(binary.BigEndian.Uint16(b[2:4]))
 	if total < ihl || total > len(b) {
-		return fmt.Errorf("%w: total length %d", ErrBadHeader, total)
+		return errIPTotalLen
 	}
 	flagsFrag := binary.BigEndian.Uint16(b[6:8])
 	p.IP = IPv4{
@@ -246,22 +275,22 @@ func ParseInto(p *Packet, b []byte) error {
 func (p *Packet) parseTCP(b []byte) error {
 	if len(b) < 20 {
 		p.TCP = nil
-		return fmt.Errorf("%w: TCP header", ErrTruncated)
+		return errTCPTruncated
 	}
 	doff := int(b[12]>>4) * 4
 	if doff < 20 || doff > len(b) {
 		p.TCP = nil
-		return fmt.Errorf("%w: TCP data offset %d", ErrBadHeader, doff)
+		return errTCPDataOff
 	}
 	// Only verify the transport checksum on unfragmented packets: a
 	// first-fragment's TCP checksum covers bytes not present here.
 	if !p.IP.MF && pseudoChecksum(p.IP.Src, p.IP.Dst, ProtoTCP, b) != 0 {
 		p.TCP = nil
-		return fmt.Errorf("%w: TCP", ErrBadChecksum)
+		return errTCPChecksum
 	}
 	t := p.TCP
 	if t == nil {
-		t = new(TCP)
+		t = new(TCP) //tspuvet:allow hotpath: lazy first-parse init; reused for every later packet through this scratch struct
 	}
 	opts, pay := t.Options[:0], t.Payload[:0]
 	*t = TCP{
@@ -282,22 +311,22 @@ func (p *Packet) parseTCP(b []byte) error {
 func (p *Packet) parseUDP(b []byte) error {
 	if len(b) < 8 {
 		p.UDP = nil
-		return fmt.Errorf("%w: UDP header", ErrTruncated)
+		return errUDPTruncated
 	}
 	ulen := int(binary.BigEndian.Uint16(b[4:6]))
 	if ulen < 8 || ulen > len(b) {
 		p.UDP = nil
-		return fmt.Errorf("%w: UDP length %d", ErrBadHeader, ulen)
+		return errUDPLength
 	}
 	if cs := binary.BigEndian.Uint16(b[6:8]); cs != 0 && !p.IP.MF {
 		if pseudoChecksum(p.IP.Src, p.IP.Dst, ProtoUDP, b[:ulen]) != 0 {
 			p.UDP = nil
-			return fmt.Errorf("%w: UDP", ErrBadChecksum)
+			return errUDPChecksum
 		}
 	}
 	u := p.UDP
 	if u == nil {
-		u = new(UDP)
+		u = new(UDP) //tspuvet:allow hotpath: lazy first-parse init; reused for every later packet through this scratch struct
 	}
 	pay := u.Payload[:0]
 	*u = UDP{
@@ -312,15 +341,15 @@ func (p *Packet) parseUDP(b []byte) error {
 func (p *Packet) parseICMP(b []byte) error {
 	if len(b) < 8 {
 		p.ICMP = nil
-		return fmt.Errorf("%w: ICMP header", ErrTruncated)
+		return errICMPTruncated
 	}
 	if checksum(b) != 0 {
 		p.ICMP = nil
-		return fmt.Errorf("%w: ICMP", ErrBadChecksum)
+		return errICMPChecksum
 	}
 	ic := p.ICMP
 	if ic == nil {
-		ic = new(ICMP)
+		ic = new(ICMP) //tspuvet:allow hotpath: lazy first-parse init; reused for every later packet through this scratch struct
 	}
 	pay := ic.Payload[:0]
 	*ic = ICMP{

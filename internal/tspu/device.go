@@ -147,6 +147,8 @@ func (d *Device) now() time.Duration { return d.cfg.Sim.Now() }
 func (d *Device) isLocalDir(dir netem.Direction) bool { return dir == d.cfg.LocalDir }
 
 // Handle implements netem.Middlebox: the full TSPU datapath for one packet.
+//
+//tspuvet:hotpath
 func (d *Device) Handle(pipe netem.Pipe, pkt *packet.Packet, dir netem.Direction) netem.Action {
 	d.stats.Handled++
 	now := d.now()
@@ -373,6 +375,8 @@ func (d *Device) classifySNI(e *flowEntry, pkt *packet.Packet) (Classification, 
 // that materializes the Info struct and its strings. It is kept (unexported,
 // exercised via the slowPath flag) as the oracle the equivalence property
 // tests compare the zero-allocation path against.
+//
+//tspuvet:coldpath retained pre-optimization oracle, reached only with the slowPath flag
 func (d *Device) slowExtractSNI(pkt *packet.Packet) (string, bool) {
 	buf := pkt.TCP.Payload
 	if len(buf) > d.cfg.InspectDepth {

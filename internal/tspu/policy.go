@@ -144,6 +144,8 @@ func (s *DomainSet) Contains(name string) bool {
 // as byte slices (m[string(b)] map accesses do not allocate), and case
 // folding — ASCII only, which is all DNS names on the wire can carry — runs
 // in a scratch buffer instead of strings.ToLower. Match never mutates name.
+//
+//tspuvet:hotpath
 func (s *DomainSet) Match(name []byte) bool {
 	if s == nil || len(s.exact) == 0 {
 		return false
@@ -272,6 +274,8 @@ type Classification struct {
 func (c Classification) Any() bool { return c.SNI1 || c.SNI2 || c.SNI4 || c.Throttle }
 
 // Classify maps an SNI value to its blocking behaviors under this policy.
+//
+//tspuvet:coldpath string-based reference path, used by the reassembly ablation and tests; ClassifyBytes is the hot form
 func (p *Policy) Classify(domain string) Classification {
 	c := Classification{
 		SNI1: p.SNI1Domains.Contains(domain),
@@ -287,6 +291,8 @@ func (p *Policy) Classify(domain string) Classification {
 // ClassifyBytes is the allocation-free form of Classify for SNI bytes
 // aliasing a packet payload. It matches Classify on every ASCII input (DNS
 // names are ASCII on the wire); TestClassifyBytesEquivalence pins that.
+//
+//tspuvet:hotpath
 func (p *Policy) ClassifyBytes(domain []byte) Classification {
 	c := Classification{
 		SNI1: p.SNI1Domains.Match(domain),

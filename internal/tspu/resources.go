@@ -67,6 +67,8 @@ func (ct *conntrack) noteInsert(key packet.FlowKey4) {
 // Sweep removes expired entries immediately instead of waiting for lazy
 // eviction on next access; it returns the number reclaimed. Long scans
 // otherwise leave large tables of dead flows.
+//
+//tspuvet:coldpath periodic housekeeping, rate-limited to once per sweep interval
 func (ct *conntrack) Sweep(now time.Duration) int {
 	n := 0
 	for k, e := range ct.table {
