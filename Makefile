@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: all check vet lint vet-hotpath escapes escapes-update build test race race-focus conformance cover bench bench-all bench-update fleet-smoke fuzz-smoke
+.PHONY: all check vet lint vet-hotpath escapes escapes-update build test race race-focus conformance cover bench bench-all bench-update bench-throughput bench-throughput-update fleet-smoke fuzz-smoke
 
 # Benchmarks gated by the regression harness (hot-path device benches, fleet
 # orchestration, and the ablations). BENCH_COUNT samples each; perfstat takes
@@ -13,6 +13,12 @@ GO ?= go
 BENCH_PATTERN = ^(BenchmarkDevice_|BenchmarkFleet_MultiSeedTable1$$|BenchmarkAblation_SNIMatch$$)
 BENCH_COUNT ?= 3
 BENCH_TIME ?= 0.2s
+
+# Engine throughput benchmarks gated against BENCH_engine.json. Only the
+# Workers:1 variants are gated — they are deterministic and zero-alloc on any
+# machine; BenchmarkEngine_WorkerFanout's parallel speedup is a property of
+# the host's core count and stays out of any committed baseline.
+ENGINE_BENCH_PATTERN = ^(BenchmarkEngine_Passthrough$$|BenchmarkEngine_TLSMix$$|BenchmarkEngine_Chain2$$)
 
 all: check
 
@@ -93,6 +99,19 @@ bench-update:
 	$(GO) build -o /tmp/tspu-bench ./cmd/tspu-bench
 	$(GO) test -run '^$$' -bench '$(BENCH_PATTERN)' -benchmem -count $(BENCH_COUNT) -benchtime $(BENCH_TIME) . | tee /tmp/bench-out.txt
 	/tmp/tspu-bench -in /tmp/bench-out.txt -baseline BENCH_device.json -update -note "make bench-update; compare with threshold 0.25"
+
+# bench-throughput is the engine's packets/sec regression gate: the batch
+# pipeline must sustain its committed aggregate pps (max across samples,
+# >25% drop fails) at exactly 0 allocs/op per batch.
+bench-throughput:
+	$(GO) build -o /tmp/tspu-bench ./cmd/tspu-bench
+	$(GO) test -run '^$$' -bench '$(ENGINE_BENCH_PATTERN)' -benchmem -count $(BENCH_COUNT) -benchtime $(BENCH_TIME) ./internal/engine | tee /tmp/bench-engine.txt
+	/tmp/tspu-bench -in /tmp/bench-engine.txt -baseline BENCH_engine.json -threshold 0.25
+
+bench-throughput-update:
+	$(GO) build -o /tmp/tspu-bench ./cmd/tspu-bench
+	$(GO) test -run '^$$' -bench '$(ENGINE_BENCH_PATTERN)' -benchmem -count $(BENCH_COUNT) -benchtime $(BENCH_TIME) ./internal/engine | tee /tmp/bench-engine.txt
+	/tmp/tspu-bench -in /tmp/bench-engine.txt -baseline BENCH_engine.json -update -note "make bench-throughput-update; compare with threshold 0.25"
 
 # bench-all runs the full unguarded suite (every table/figure regeneration
 # bench) for manual inspection.

@@ -53,6 +53,7 @@ var hotPathPackages = []string{
 	"./internal/packet",
 	"./internal/tlsx",
 	"./internal/tspu",
+	"./internal/engine",
 }
 
 func main() {

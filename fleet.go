@@ -8,9 +8,18 @@ package tspusim
 
 import (
 	"fmt"
+	"sync"
 
 	"tspusim/internal/fleet"
+	"tspusim/internal/sim"
+	"tspusim/internal/topo"
 )
+
+// jobSims recycles Sims across fleet jobs: each job Gets an idle Sim, Resets
+// it, and builds its lab on top, so the event freelist grown by one job
+// serves the next. A job that panics simply never returns its Sim — the pool
+// hands the next caller a fresh one.
+var jobSims = sync.Pool{New: func() any { return sim.New() }}
 
 // JobRunner returns the fleet RunFunc that builds a per-job lab from base
 // options (with the job's derived seed, and the endpoint population split
@@ -29,13 +38,19 @@ func JobRunner(base Options) fleet.RunFunc {
 				opts.Endpoints = 1
 			}
 		}
-		lab := NewLab(opts)
+		s := jobSims.Get().(*sim.Sim)
+		s.Reset()
+		lab := topo.BuildOn(s, opts)
+		var out string
+		var stats []fleet.Stat
 		if e.Stats != nil {
-			out, stats := e.Stats(lab)
-			return e.Header() + "\n" + out, stats, nil
+			out, stats = e.Stats(lab)
+		} else {
+			out = e.Run(lab)
+			stats = fleet.ExtractStats(out)
 		}
-		out := e.Run(lab)
-		return e.Header() + "\n" + out, fleet.ExtractStats(out), nil
+		jobSims.Put(s)
+		return e.Header() + "\n" + out, stats, nil
 	}
 }
 

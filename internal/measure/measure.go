@@ -14,6 +14,7 @@ package measure
 
 import (
 	"net/netip"
+	"sync"
 	"time"
 
 	"tspusim/internal/hostnet"
@@ -37,9 +38,24 @@ const (
 	DomainControl = "example-control.org"
 )
 
-// CH builds a ClientHello payload for a domain.
+// chCache memoizes built default-spec ClientHellos per domain. Experiments
+// build the same handful of trigger hellos tens of thousands of times per
+// lab, and tlsx assembly was a visible slice of fleet allocation profiles.
+// sync.Map because fleet workers call CH concurrently.
+var chCache sync.Map // string -> []byte (never mutated after store)
+
+// CH builds a ClientHello payload for a domain. The returned slice is a
+// private copy — callers may hand it to packet constructors or split it for
+// fragmentation without aliasing other trials.
 func CH(domain string) []byte {
-	return (&tlsx.ClientHelloSpec{ServerName: domain}).Build()
+	v, ok := chCache.Load(domain)
+	if !ok {
+		v, _ = chCache.LoadOrStore(domain, (&tlsx.ClientHelloSpec{ServerName: domain}).Build())
+	}
+	cached := v.([]byte)
+	out := make([]byte, len(cached))
+	copy(out, cached)
+	return out
 }
 
 // Flow scripts raw TCP packets between a local stack and a remote stack with

@@ -83,6 +83,10 @@ func trialBlocked(lab *topo.Lab, v *topo.Vantage, typ tspu.BlockType, us2 *hostn
 		// Unblocked only if every marker arrived.
 		return len(f.RemoteGot)-before < 12
 	case tspu.SNI4:
+		// Only conns accepted after this dial can belong to it, so scan just
+		// the tail — the listener's conn list grows with every trial, and a
+		// full scan per trial made the whole cell quadratic.
+		before := len(us2.Conns)
 		conn := v.Stack.Dial(lab.US2.Addr(), 443, hostnet.DialOptions{})
 		conn.OnEstablished = func() { conn.Send(CH(DomainSNI14)) }
 		lab.Sim.Run()
@@ -90,8 +94,9 @@ func trialBlocked(lab *topo.Lab, v *topo.Vantage, typ tspu.BlockType, us2 *hostn
 		// Match on both address and port: vantages allocate the same
 		// ephemeral port sequence, so port alone collides across them.
 		blocked := true
-		for _, sc := range us2.Conns {
-			if sc.RemoteAddr == v.Stack.Addr() && sc.RemotePort == conn.LocalPort && len(sc.Received) > 0 {
+		vAddr := v.Stack.Addr()
+		for _, sc := range us2.Conns[before:] {
+			if sc.RemoteAddr == vAddr && sc.RemotePort == conn.LocalPort && len(sc.Received) > 0 {
 				blocked = false
 			}
 		}

@@ -46,8 +46,11 @@ const (
 
 // Middlebox is an in-path device attached to a link. Handle is called for
 // every packet crossing the link in either direction; the device may mutate
-// pkt in place (it owns the copy), return a verdict, and inject packets
-// through the pipe now or later.
+// pkt in place (ownership is sequential: the same instance traverses every
+// link on the path, and whoever holds it at the moment owns it), return a
+// verdict, and inject packets through the pipe now or later. A middlebox
+// that keeps a packet past its Handle return MUST clone it — routers forward
+// in place, so a retained pointer would alias downstream hops.
 type Middlebox interface {
 	Name() string
 	Handle(pipe Pipe, pkt *packet.Packet, dir Direction) Action
@@ -155,12 +158,9 @@ func (l *Link) process(pkt *packet.Packet, dir Direction, idx int) {
 	if dir == BtoA {
 		dst = l.a
 	}
-	l.net.Sim.After(l.delay, func() {
-		for _, t := range l.taps {
-			t.record(l, pkt, dir, false)
-		}
-		dst.node.deliver(dst, pkt)
-	})
+	dv := l.net.newDelivery()
+	dv.link, dv.pkt, dv.dir, dv.dst = l, pkt, dir, dst
+	l.net.Sim.After(l.delay, dv.run)
 }
 
 // linkPipe implements Pipe for one middlebox invocation.

@@ -28,6 +28,47 @@ type Network struct {
 	Sim   *sim.Sim
 	nodes map[string]*Node
 	links []*Link
+	// freeDeliveries recycles pending-delivery records (struct + bound
+	// closure); every in-flight hop otherwise allocates a fresh closure, the
+	// single largest allocation site in whole-lab profiles. The network is
+	// single-goroutine (one Sim), so a plain slice is safe.
+	freeDeliveries []*delivery
+}
+
+// delivery is one scheduled far-end delivery. run is the closure handed to
+// Sim.After, bound once when the record is first allocated and reused for
+// every subsequent hop the record serves.
+type delivery struct {
+	net  *Network
+	link *Link
+	pkt  *packet.Packet
+	dir  Direction
+	dst  *Iface
+	run  func()
+}
+
+func (n *Network) newDelivery() *delivery {
+	if k := len(n.freeDeliveries); k > 0 {
+		d := n.freeDeliveries[k-1]
+		n.freeDeliveries = n.freeDeliveries[:k-1]
+		return d
+	}
+	d := &delivery{net: n}
+	d.run = d.fire
+	return d
+}
+
+// fire delivers the packet and returns the record to the pool. The fields
+// are copied out and cleared before delivery runs, because delivery can
+// re-enter transmit and hand the same record to the next hop.
+func (d *delivery) fire() {
+	l, pkt, dir, dst := d.link, d.pkt, d.dir, d.dst
+	d.link, d.pkt, d.dst = nil, nil, nil
+	d.net.freeDeliveries = append(d.net.freeDeliveries, d)
+	for _, t := range l.taps {
+		t.record(l, pkt, dir, false)
+	}
+	dst.node.deliver(dst, pkt)
 }
 
 // New creates an empty network driven by s.
@@ -202,9 +243,14 @@ func (nd *Node) deliver(in *Iface, pkt *packet.Packet) {
 	if out == nil || out.link == nil {
 		return
 	}
-	fwd := pkt.Clone()
-	fwd.IP.TTL--
-	out.link.transmit(out, fwd)
+	// Forward in place: ownership of a packet is sequential along its path.
+	// Send cloned at origination, captures clone what they record, and every
+	// middlebox that buffers past its Handle return clones first — so by the
+	// time a router forwards, nothing else holds the pointer. Cloning per hop
+	// here dominated whole-lab allocation profiles (multi-hop topologies copy
+	// every payload once per router).
+	pkt.IP.TTL--
+	out.link.transmit(out, pkt)
 }
 
 // sendTimeExceeded emits ICMP Time Exceeded to the packet source, embedding

@@ -92,6 +92,40 @@ func FlowKey4Of(p *Packet) FlowKey4 {
 	}
 }
 
+// mix64 is the splitmix64 finalizer: a fast, well-distributed 64-bit mixer.
+// It is the hash behind FlowKey4 sharding; xoshiro's authors recommend it for
+// exactly this kind of avalanche duty, and it is a pure function so sharded
+// structures stay deterministic across runs.
+func mix64(z uint64) uint64 {
+	z += 0x9e3779b97f4a7c15
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Hash returns a well-mixed 64-bit hash of the full canonical 5-tuple. Used
+// to derive per-flow deterministic random streams: the same flow hashes the
+// same regardless of which shard, worker, or batch observes it.
+//
+//tspuvet:hotpath
+func (k FlowKey4) Hash() uint64 {
+	return mix64(k.hi ^ mix64(k.lo))
+}
+
+// PairHash returns a well-mixed hash of the key's canonical (src, dst)
+// address word only. Every key between the same host pair — both directions
+// of every flow, and every fragment of every queue between them (fragment
+// queues are keyed by (src, dst, IPID)) — shares a PairHash. That makes it
+// the shard-selection function for the sharded conntrack and the batch
+// engine: all middlebox state is keyed by (src, dst, ...), so partitioning
+// traffic by PairHash guarantees two workers never touch the same entry,
+// fragment queue, or reassembly buffer.
+//
+//tspuvet:hotpath
+func (k FlowKey4) PairHash() uint64 {
+	return mix64(k.hi)
+}
+
 // FragKey identifies a fragment queue. Per §5.3.1 the TSPU keys its fragment
 // state on the (source, destination, IPID) tuple.
 type FragKey struct {

@@ -34,6 +34,12 @@ type Result struct {
 	// real regression, not scheduling noise.
 	BytesPerOp  float64 `json:"bytes_per_op"`
 	AllocsPerOp float64 `json:"allocs_per_op"`
+	// Pps is the maximum packets/sec across samples, taken from a custom
+	// `pps` metric emitted via b.ReportMetric. Throughput is a
+	// bigger-is-better axis: the max is the least-noisy estimate of what the
+	// code can do, and a fresh run falling below baseline by more than the
+	// threshold is a regression. Zero means the benchmark reports no pps.
+	Pps float64 `json:"pps,omitempty"`
 	// Samples counts how many lines were aggregated (go test -count=N).
 	Samples int `json:"samples"`
 }
@@ -84,6 +90,10 @@ func ParseBench(r io.Reader) ([]Result, error) {
 			case "allocs/op":
 				if val > res.AllocsPerOp {
 					res.AllocsPerOp = val
+				}
+			case "pps":
+				if val > res.Pps {
+					res.Pps = val
 				}
 			}
 		}
@@ -151,6 +161,9 @@ const (
 	Missing
 	// TimeRegressed means ns/op exceeded baseline by more than the threshold.
 	TimeRegressed
+	// ThroughputRegressed means the pps metric fell below baseline by more
+	// than the threshold (throughput is bigger-is-better).
+	ThroughputRegressed
 	// AllocRegressed means B/op or allocs/op exceeded the baseline at all.
 	AllocRegressed
 )
@@ -165,6 +178,8 @@ func (v Verdict) String() string {
 		return "missing"
 	case TimeRegressed:
 		return "time-regressed"
+	case ThroughputRegressed:
+		return "throughput-regressed"
 	case AllocRegressed:
 		return "alloc-regressed"
 	}
@@ -178,6 +193,8 @@ type Delta struct {
 	Old, New Result
 	// NsRatio is new/old ns/op (0 when old is 0).
 	NsRatio float64
+	// PpsRatio is new/old pps (0 when the baseline carries no pps).
+	PpsRatio float64
 }
 
 func (d Delta) String() string {
@@ -185,9 +202,13 @@ func (d Delta) String() string {
 	case Missing:
 		return fmt.Sprintf("%-45s %s (in baseline, not in run)", d.Name, d.Verdict)
 	default:
-		return fmt.Sprintf("%-45s %s ns/op %.1f -> %.1f (%.2fx) allocs %g -> %g",
+		s := fmt.Sprintf("%-45s %s ns/op %.1f -> %.1f (%.2fx) allocs %g -> %g",
 			d.Name, d.Verdict, d.Old.NsPerOp, d.New.NsPerOp, d.NsRatio,
 			d.Old.AllocsPerOp, d.New.AllocsPerOp)
+		if d.Old.Pps > 0 {
+			s += fmt.Sprintf(" pps %.3gM -> %.3gM (%.2fx)", d.Old.Pps/1e6, d.New.Pps/1e6, d.PpsRatio)
+		}
+		return s
 	}
 }
 
@@ -222,12 +243,18 @@ func Compare(base Baseline, fresh []Result, threshold float64) []Delta {
 		if old.NsPerOp > 0 {
 			d.NsRatio = cur.NsPerOp / old.NsPerOp
 		}
+		if old.Pps > 0 {
+			d.PpsRatio = cur.Pps / old.Pps
+		}
 		switch {
 		case cur.AllocsPerOp > old.AllocsPerOp*(1+allocSlack) || cur.BytesPerOp > old.BytesPerOp*(1+allocSlack):
 			d.Verdict = AllocRegressed
+		case old.Pps > 0 && d.PpsRatio < 1-threshold:
+			d.Verdict = ThroughputRegressed
 		case old.NsPerOp > 0 && d.NsRatio > 1+threshold:
 			d.Verdict = TimeRegressed
-		case old.NsPerOp > 0 && d.NsRatio < 1-threshold:
+		case old.NsPerOp > 0 && d.NsRatio < 1-threshold,
+			old.Pps > 0 && d.PpsRatio > 1+threshold:
 			d.Verdict = Improved
 		default:
 			d.Verdict = OK
@@ -242,7 +269,7 @@ func Failures(deltas []Delta) []Delta {
 	var bad []Delta
 	for _, d := range deltas {
 		switch d.Verdict {
-		case Missing, TimeRegressed, AllocRegressed:
+		case Missing, TimeRegressed, ThroughputRegressed, AllocRegressed:
 			bad = append(bad, d)
 		}
 	}

@@ -157,6 +157,49 @@ func TestCompareAllocSlackAbsorbsSchedulerJitter(t *testing.T) {
 	}
 }
 
+func TestParsePpsMetric(t *testing.T) {
+	in := `BenchmarkEngine_Passthrough-8 	 5000	    250000 ns/op	  9500000 pps	       0 B/op	       0 allocs/op
+BenchmarkEngine_Passthrough-8 	 5000	    260000 ns/op	  9100000 pps	       0 B/op	       0 allocs/op
+`
+	results, err := ParseBench(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 1 {
+		t.Fatalf("got %d results", len(results))
+	}
+	// Throughput aggregates as the max across samples (bigger is better).
+	if results[0].Pps != 9500000 {
+		t.Fatalf("pps = %v, want max 9500000", results[0].Pps)
+	}
+	if results[0].NsPerOp != 250000 {
+		t.Fatalf("ns/op = %v, want min 250000", results[0].NsPerOp)
+	}
+}
+
+func TestCompareThroughputVerdicts(t *testing.T) {
+	base := Baseline{Results: []Result{
+		{Name: "T1", NsPerOp: 100, Pps: 10e6},
+		{Name: "T2", NsPerOp: 100, Pps: 10e6},
+		{Name: "T3", NsPerOp: 100, Pps: 10e6},
+	}}
+	fresh := []Result{
+		{Name: "T1", NsPerOp: 100, Pps: 9e6},  // -10%: within threshold
+		{Name: "T2", NsPerOp: 100, Pps: 6e6},  // -40%: regression
+		{Name: "T3", NsPerOp: 100, Pps: 15e6}, // +50%: improved
+	}
+	deltas := Compare(base, fresh, 0.25)
+	want := map[string]Verdict{"T1": OK, "T2": ThroughputRegressed, "T3": Improved}
+	for _, d := range deltas {
+		if d.Verdict != want[d.Name] {
+			t.Errorf("%s: verdict %v, want %v", d.Name, d.Verdict, want[d.Name])
+		}
+	}
+	if bad := Failures(deltas); len(bad) != 1 || bad[0].Name != "T2" {
+		t.Fatalf("failures = %v, want just T2", bad)
+	}
+}
+
 func TestParseBenchIgnoresGarbage(t *testing.T) {
 	in := "Benchmark\nBenchmarkX notanumber 5 ns/op\nrandom text\nBenchmarkY 10 bad ns/op\n"
 	results, err := ParseBench(strings.NewReader(in))

@@ -183,3 +183,60 @@ func TestPoolDeterminism(t *testing.T) {
 		}
 	}
 }
+
+// TestResetReusesEventPool pins the Sim reuse contract: Reset drains pending
+// events into the pool and restores the zero-time state, so a reused Sim
+// serves its next run's scheduling from recycled events instead of the
+// allocator.
+func TestResetReusesEventPool(t *testing.T) {
+	s := New()
+	for i := 0; i < 64; i++ {
+		s.After(time.Duration(i)*time.Millisecond, noop)
+	}
+	s.RunBatch(30*time.Millisecond, 16) // fire some, leave some pending
+	if s.Pending() == 0 {
+		t.Fatal("test needs pending events at Reset time")
+	}
+	s.Reset()
+	if s.Now() != 0 || s.Pending() != 0 || s.Processed() != 0 {
+		t.Fatalf("Reset left now=%v pending=%d processed=%d", s.Now(), s.Pending(), s.Processed())
+	}
+	if s.PoolSize() != 64 {
+		t.Fatalf("pool holds %d events after Reset, want all 64", s.PoolSize())
+	}
+	base := s.PoolReuses()
+	for i := 0; i < 64; i++ {
+		s.After(time.Duration(i)*time.Millisecond, noop)
+	}
+	if got := s.PoolReuses() - base; got != 64 {
+		t.Fatalf("post-Reset scheduling reused %d events, want 64", got)
+	}
+	allocs := testing.AllocsPerRun(200, func() {
+		s.Reset()
+		for i := 0; i < 64; i++ {
+			s.After(time.Duration(i)*time.Millisecond, noop)
+		}
+		s.Run()
+	})
+	if allocs != 0 {
+		t.Fatalf("Reset+reschedule+Run cycle allocates %v/op, want 0", allocs)
+	}
+}
+
+// TestResetInvalidatesTimers pins that a Timer handle from before a Reset
+// cannot cancel an event scheduled after it, even when the pool hands the
+// new event the same struct.
+func TestResetInvalidatesTimers(t *testing.T) {
+	s := New()
+	old := s.After(time.Second, noop)
+	s.Reset()
+	fired := false
+	s.After(time.Second, func() { fired = true })
+	if old.Stop() {
+		t.Fatal("stale pre-Reset timer claimed to stop something")
+	}
+	s.Run()
+	if !fired {
+		t.Fatal("stale timer Stop cancelled a post-Reset event")
+	}
+}

@@ -81,6 +81,26 @@ func (s *Sim) recycle(ev *event) {
 	s.free = append(s.free, ev)
 }
 
+// Reset returns the simulator to its initial state — clock at zero, empty
+// queue, event counters cleared — while keeping the event pool, so a Sim
+// reused across runs (fleet seeds, benchmark iterations) schedules without
+// reallocating. Pending events are recycled with the usual generation bump,
+// so Timer handles issued before the Reset turn into no-ops rather than
+// cancelling whoever reuses their event structs. Pool accounting
+// (PoolReuses) is cumulative across resets. Panics if called from within an
+// executing event.
+func (s *Sim) Reset() {
+	if s.running {
+		panic("sim: Reset called re-entrantly from within an event")
+	}
+	for len(s.queue) > 0 {
+		s.recycle(s.queue.pop())
+	}
+	s.now = 0
+	s.nextID = 0
+	s.processed = 0
+}
+
 // At schedules fn to run at absolute virtual time t. Scheduling in the past
 // panics: it would silently reorder causality and mask bugs.
 //

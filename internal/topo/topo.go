@@ -244,11 +244,17 @@ func (l *Lab) link(from, to *netem.Node) (*netem.Link, *netem.Iface, *netem.Ifac
 	return l.Net.Connect(fi, ti, l.Opts.LinkDelay), fi, ti
 }
 
-// Build assembles the lab.
-func Build(opts Options) *Lab {
+// Build assembles the lab on a fresh Sim.
+func Build(opts Options) *Lab { return BuildOn(sim.New(), opts) }
+
+// BuildOn assembles the lab on an existing Sim, which must be idle (fresh,
+// or Reset after a previous run). Fleet workers reuse one Sim per job slot
+// so the event freelist built up by one job serves the next instead of being
+// reallocated per lab.
+func BuildOn(s *sim.Sim, opts Options) *Lab {
 	opts.defaults()
 	l := &Lab{
-		Sim:      sim.New(),
+		Sim:      s,
 		Rand:     sim.NewRand(opts.Seed),
 		Opts:     opts,
 		Vantages: make(map[string]*Vantage),

@@ -114,9 +114,9 @@ type blockState struct {
 	bucket *tokenBucket
 }
 
-// flowEntry is one conntrack record. Entries are pooled per-conntrack: a
-// deleted entry's memory is reused by the next flow instead of going to the
-// garbage collector, so flow churn does not allocate in steady state.
+// flowEntry is one conntrack record. Entries are pooled per-shard: a deleted
+// entry's memory is reused by the next flow instead of going to the garbage
+// collector, so flow churn does not allocate in steady state.
 type flowEntry struct {
 	key     packet.FlowKey4 // canonical compact 5-tuple
 	origin  Origin
@@ -139,6 +139,13 @@ type flowEntry struct {
 	// ipVerdictKnown/ipBlocked cache the per-flow IP-block decision.
 	ipVerdictKnown bool
 	ipBlocked      bool
+	// gen invalidates stale timeWheel references: release bumps it, so a
+	// wheel bucket holding an old (entry, gen) pair resolves to a no-op —
+	// the sim.Timer discipline applied to pooled flow entries.
+	gen uint32
+	// rollSeq counts per-flow random decisions consumed in PerFlowRand mode,
+	// so each roll on a flow draws a distinct, order-independent value.
+	rollSeq uint32
 }
 
 func (e *flowEntry) roleConfused() bool {
@@ -148,59 +155,112 @@ func (e *flowEntry) roleConfused() bool {
 func (e *flowEntry) isImmune(t BlockType) bool { return e.immune&(1<<uint(t)) != 0 }
 func (e *flowEntry) setImmune(t BlockType)     { e.immune |= 1 << uint(t) }
 
-// conntrack is the device's flow table with lazy expiry against the virtual
-// clock.
-type conntrack struct {
+// ctShard is one independent slice of the flow table: its own map, entry
+// pool, capacity bound, and timeout wheel. Shards share nothing, so the batch
+// engine can hand each worker a disjoint set of shards and run them with no
+// lock — the decentralized-deployment analogue of the paper's observation
+// that TSPU state is per-box, not network-global.
+type ctShard struct {
 	table    map[packet.FlowKey4]*flowEntry
 	timeouts StateTimeouts
-	// Evictions counts lazily expired entries (visible in device stats).
+	// evictions counts expired entries reclaimed (lazily or by sweep).
 	evictions int
 	// cap implements the optional flow-table bound (resources.go).
 	cap capacityState
 	// free is the entry pool, refilled as entries are deleted.
 	free []*flowEntry
+	// wheel indexes entries by expiry so sweeping visits only elapsed
+	// buckets instead of scanning the whole table (wheel.go).
+	wheel timeWheel
+	// allocs / poolReuses account pool behavior: in steady state reuse grows
+	// and allocs stay flat — the leak check invariant.
+	allocs     uint64
+	poolReuses uint64
+}
+
+// conntrack is the device's flow table with lazy expiry against the virtual
+// clock, split into 2^k shards selected by FlowKey4.PairHash. With one shard
+// (the default) it behaves exactly as the unsharded table did.
+type conntrack struct {
+	shards   []ctShard
+	mask     uint64
+	timeouts StateTimeouts
 }
 
 func newConntrack(t StateTimeouts) *conntrack {
-	return &conntrack{table: make(map[packet.FlowKey4]*flowEntry), timeouts: t}
+	return newShardedConntrack(t, 1)
 }
+
+// newShardedConntrack builds a table with at least n shards, rounded up to a
+// power of two so shard selection is a mask.
+func newShardedConntrack(t StateTimeouts, n int) *conntrack {
+	size := 1
+	for size < n {
+		size <<= 1
+	}
+	ct := &conntrack{shards: make([]ctShard, size), mask: uint64(size - 1), timeouts: t}
+	for i := range ct.shards {
+		sh := &ct.shards[i]
+		sh.table = make(map[packet.FlowKey4]*flowEntry)
+		sh.timeouts = t
+		sh.wheel.init()
+	}
+	return ct
+}
+
+// shardFor selects the shard owning key. PairHash depends only on the
+// canonical (src, dst) address pair, so both directions of a flow — and every
+// other piece of middlebox state between the same hosts — land on one shard.
+//
+//tspuvet:hotpath
+func (ct *conntrack) shardFor(key packet.FlowKey4) *ctShard {
+	return &ct.shards[key.PairHash()&ct.mask]
+}
+
+func (ct *conntrack) numShards() int { return len(ct.shards) }
 
 // release recycles a deleted entry. The caller must have removed it from the
 // table; zeroing drops the token-bucket pointer so stopped throttles are
-// collectible.
-func (ct *conntrack) release(e *flowEntry) {
+// collectible, and the bumped generation kills any wheel reference still
+// pointing here.
+func (sh *ctShard) release(e *flowEntry) {
+	g := e.gen
 	*e = flowEntry{}
-	ct.free = append(ct.free, e)
+	e.gen = g + 1
+	sh.free = append(sh.free, e)
 }
 
-func (ct *conntrack) allocEntry() *flowEntry {
-	if n := len(ct.free); n > 0 {
-		e := ct.free[n-1]
-		ct.free[n-1] = nil
-		ct.free = ct.free[:n-1]
+func (sh *ctShard) allocEntry() *flowEntry {
+	if n := len(sh.free); n > 0 {
+		e := sh.free[n-1]
+		sh.free[n-1] = nil
+		sh.free = sh.free[:n-1]
+		sh.poolReuses++
 		return e
 	}
+	sh.allocs++
 	return &flowEntry{} //tspuvet:allow hotpath: pool-miss refill, amortized to zero across a run
 }
 
-// lookup returns the live entry for pkt's flow, expiring stale state.
-func (ct *conntrack) lookup(key packet.FlowKey4, now time.Duration) *flowEntry {
-	e, ok := ct.table[key]
+// lookup returns the live entry for key, expiring stale state.
+func (sh *ctShard) lookup(key packet.FlowKey4, now time.Duration) *flowEntry {
+	e, ok := sh.table[key]
 	if !ok {
 		return nil
 	}
 	if now >= e.expires {
-		delete(ct.table, key)
-		ct.evictions++
-		ct.release(e)
+		delete(sh.table, key)
+		sh.evictions++
+		sh.release(e)
 		return nil
 	}
 	return e
 }
 
 // observe updates (or creates) the entry for one packet and returns it.
-// dirLocal reports whether the packet travels local→remote. The transition
-// rules encode the paper's findings:
+// dirLocal reports whether the packet travels local→remote; key must be
+// packet.FlowKey4Of(pkt) (precomputed by batch callers that already hashed it
+// for shard selection). The transition rules encode the paper's findings:
 //
 //   - A flow's origin is the direction of the first packet seen; sequences
 //     starting with a remote packet are never valid blocking prefixes.
@@ -211,9 +271,8 @@ func (ct *conntrack) lookup(key packet.FlowKey4, now time.Duration) *flowEntry {
 //     trigger" sequence of Table 8 is only explainable if the TSPU replaces
 //     rather than updates its entry on unsolicited ACKs.
 //   - Promotion to ESTABLISHED requires having seen a SYN/ACK.
-func (ct *conntrack) observe(pkt *packet.Packet, dirLocal bool, now time.Duration) *flowEntry {
-	key := packet.FlowKey4Of(pkt)
-	e := ct.lookup(key, now)
+func (sh *ctShard) observe(key packet.FlowKey4, pkt *packet.Packet, dirLocal bool, now time.Duration) *flowEntry {
+	e := sh.lookup(key, now)
 	t := pkt.TCP
 
 	newEntry := func(state ConnState) *flowEntry {
@@ -221,13 +280,14 @@ func (ct *conntrack) observe(pkt *packet.Packet, dirLocal bool, now time.Duratio
 		if dirLocal {
 			origin = OriginLocal
 		}
-		ne := ct.allocEntry()
+		ne := sh.allocEntry()
 		ne.key = key
 		ne.origin = origin
 		ne.state = state
-		ne.expires = now + ct.timeouts.forState(state)
-		ct.table[key] = ne
-		ct.noteInsert(key)
+		ne.expires = now + sh.timeouts.forState(state)
+		sh.table[key] = ne
+		sh.noteInsert(key)
+		sh.wheel.insert(ne)
 		return ne
 	}
 
@@ -274,8 +334,8 @@ func (ct *conntrack) observe(pkt *packet.Packet, dirLocal bool, now time.Duratio
 				// sequences are never valid prefixes. Data-bearing ACKs
 				// never restart — otherwise every trigger ClientHello would
 				// reset the flow it rides on.
-				delete(ct.table, key)
-				ct.release(e)
+				delete(sh.table, key)
+				sh.release(e)
 				ne := newEntry(CTEstablished)
 				ne.origin = OriginRemote
 				return ne
@@ -286,8 +346,9 @@ func (ct *conntrack) observe(pkt *packet.Packet, dirLocal bool, now time.Duratio
 		}
 	}
 	// Activity refreshes the state timer, but never shortens an active
-	// blocking hold.
-	exp := now + ct.timeouts.forState(e.state)
+	// blocking hold. Expiry only ever moves later, which is what lets the
+	// timeout wheel hold a single lazy reference per entry.
+	exp := now + sh.timeouts.forState(e.state)
 	if e.hasBlock && e.block.until > exp {
 		exp = e.block.until
 	}
@@ -295,8 +356,28 @@ func (ct *conntrack) observe(pkt *packet.Packet, dirLocal bool, now time.Duratio
 	return e
 }
 
+// observe routes one packet to its owning shard.
+func (ct *conntrack) observe(pkt *packet.Packet, dirLocal bool, now time.Duration) *flowEntry {
+	key := packet.FlowKey4Of(pkt)
+	return ct.shardFor(key).observe(key, pkt, dirLocal, now)
+}
+
+// observeKey is observe with the flow key already extracted — the batch path
+// computes keys once per batch for shard routing and passes them down.
+//
+//tspuvet:hotpath
+func (ct *conntrack) observeKey(key packet.FlowKey4, pkt *packet.Packet, dirLocal bool, now time.Duration) *flowEntry {
+	return ct.shardFor(key).observe(key, pkt, dirLocal, now)
+}
+
+// lookup returns the live entry for key, expiring stale state.
+func (ct *conntrack) lookup(key packet.FlowKey4, now time.Duration) *flowEntry {
+	return ct.shardFor(key).lookup(key, now)
+}
+
 // setBlock installs a blocking state on the entry and extends its lifetime
-// to cover it.
+// to cover it. Expiry grows monotonically, so the entry's wheel reference
+// stays valid and re-buckets when its original slot fires.
 func (ct *conntrack) setBlock(e *flowEntry, typ BlockType, now time.Duration, allowance int, bucket *tokenBucket) {
 	e.hasBlock = true
 	e.block = blockState{
@@ -319,5 +400,34 @@ func (e *flowEntry) activeBlock(now time.Duration) *blockState {
 }
 
 // size reports the number of table entries (including not-yet-swept stale
-// ones).
-func (ct *conntrack) size() int { return len(ct.table) }
+// ones) across all shards.
+func (ct *conntrack) size() int {
+	n := 0
+	for i := range ct.shards {
+		n += len(ct.shards[i].table)
+	}
+	return n
+}
+
+// evictionCount sums expired-entry reclaims across shards.
+func (ct *conntrack) evictionCount() int {
+	n := 0
+	for i := range ct.shards {
+		n += ct.shards[i].evictions
+	}
+	return n
+}
+
+// poolStats reports aggregate entry-pool accounting: fresh allocations,
+// pooled reuses, and entries currently sitting in freelists. In steady-state
+// churn allocs plateaus at the peak concurrent flow count while reuses keep
+// climbing — the shard-pool leak check invariant.
+func (ct *conntrack) poolStats() (allocs, reuses uint64, pooled int) {
+	for i := range ct.shards {
+		sh := &ct.shards[i]
+		allocs += sh.allocs
+		reuses += sh.poolReuses
+		pooled += len(sh.free)
+	}
+	return
+}

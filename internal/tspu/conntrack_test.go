@@ -98,8 +98,8 @@ func TestEntryExpiry(t *testing.T) {
 	if ct.lookup(key, 61*time.Second) != nil {
 		t.Fatal("SYN_SENT entry alive after 60s")
 	}
-	if ct.evictions != 1 {
-		t.Fatalf("evictions = %d", ct.evictions)
+	if ct.evictionCount() != 1 {
+		t.Fatalf("evictions = %d", ct.evictionCount())
 	}
 }
 

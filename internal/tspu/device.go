@@ -39,6 +39,25 @@ type Config struct {
 	// SNI-II delivers after its trigger (§5.2).
 	SNI2AllowanceMin, SNI2AllowanceMax int
 
+	// Shards splits the conntrack — and every other piece of mutable device
+	// state — into that many independent lanes selected by the packet's
+	// canonical host pair, rounded up to a power of two. Lanes share nothing,
+	// so the batch engine can run them on separate workers without locks.
+	// Zero or one gives the classic single-lane device.
+	Shards int
+	// PerFlowRand derives failure rolls and the SNI-II allowance from a pure
+	// function of (FlowSeed, flow hash, per-flow roll index) instead of
+	// consuming the shared Rand stream. Batch processing interleaves flows
+	// in an order that differs from sequential delivery; per-flow derivation
+	// makes every random outcome independent of that order, which is what
+	// lets the batched path stay byte-equivalent to the sequential one.
+	// Within a flow the order is fixed (a flow never leaves its lane), so
+	// the roll index is deterministic.
+	PerFlowRand bool
+	// FlowSeed seeds the per-flow derivation (PerFlowRand only), so
+	// different devices and different experiment seeds roll differently.
+	FlowSeed uint64
+
 	// ReassembleTCP is an ablation switch: reassemble upstream TCP payload
 	// per flow before SNI inspection, like the GFW has done since 2013 (§8).
 	// The real TSPU does not, which is why TCP segmentation evades it.
@@ -60,28 +79,59 @@ type Stats struct {
 	FragBuffers int
 }
 
-// Device is one TSPU middlebox. Attach it to a netem link; it inspects every
-// packet crossing in both directions. It is not safe for concurrent use (the
-// simulator is single-threaded).
-type Device struct {
-	cfg      Config
-	policy   *Policy
-	rng      *sim.Rand
-	ct       *conntrack
-	frags    *fragEngine
-	stats    Stats
-	timeouts StateTimeouts
+// numBlockTypes sizes the flat per-lane counter arrays (IPBlock is the last
+// enumerator).
+const numBlockTypes = int(IPBlock) + 1
+
+// laneStats holds one lane's counters as flat words — no maps — so the
+// concurrent batch path increments them without synchronization or
+// allocation. Stats() folds all lanes into the public map form.
+type laneStats struct {
+	handled     int
+	dropped     int
+	rewritten   int
+	throttled   int
+	fragBuffers int
+	triggers    [numBlockTypes]int
+	misses      [numBlockTypes]int
+}
+
+// devLane is the mutable per-shard half of a Device: counters, fragment
+// queues, reassembly buffers, and scratch space. Lane i owns exactly the
+// packets whose canonical host pair hashes to conntrack shard i, so two
+// engine workers driving different lanes of one device never touch the same
+// memory.
+type devLane struct {
+	stats laneStats
+	frags *fragEngine
 	// reasm holds per-flow upstream byte buffers for the ReassembleTCP
-	// ablation.
+	// ablation; flows never change lanes, so per-lane maps stay disjoint.
 	reasm map[packet.FlowKey4][]byte
+	// fold is the case-normalization scratch threaded into DomainSet
+	// matching, replacing the set's shared internal buffer on this lane.
+	fold []byte
+	// lastSweep drives this lane's datapath-piggybacked housekeeping.
+	lastSweep time.Duration
+}
+
+// Device is one TSPU middlebox. Attach it to a netem link; it inspects every
+// packet crossing in both directions. A device built with Config.Shards > 1
+// may be driven concurrently through HandleSharded as long as each worker
+// sticks to its own lanes; the plain Handle path (and the simulator it runs
+// in) remains single-threaded.
+type Device struct {
+	cfg    Config
+	policy *Policy
+	rng    *sim.Rand
+	ct     *conntrack
+	lanes  []devLane
 	// slowPath routes SNI classification through the retained reference
 	// implementation (string-building parser + Contains) instead of the
 	// allocation-free fast path; the equivalence property tests flip it to
 	// pin that both paths produce byte-identical device behavior.
 	slowPath bool
-	// sweepEvery/lastSweep drive datapath-piggybacked housekeeping.
+	// sweepEvery drives datapath-piggybacked housekeeping (per-lane).
 	sweepEvery time.Duration
-	lastSweep  time.Duration
 }
 
 // NewDevice creates a device. If no controller registers it, it enforces an
@@ -104,16 +154,17 @@ func NewDevice(cfg Config) *Device {
 		rng = sim.NewRand(0x75b7)
 	}
 	d := &Device{
-		cfg:      cfg,
-		policy:   NewPolicy(),
-		rng:      rng,
-		ct:       newConntrack(cfg.Timeouts),
-		frags:    newFragEngine(cfg.FragLimit, cfg.Timeouts.Frag),
-		timeouts: cfg.Timeouts,
-		reasm:    make(map[packet.FlowKey4][]byte),
+		cfg:    cfg,
+		policy: NewPolicy(),
+		rng:    rng,
+		ct:     newShardedConntrack(cfg.Timeouts, cfg.Shards),
 	}
-	d.stats.Triggers = make(map[BlockType]int)
-	d.stats.Misses = make(map[BlockType]int)
+	d.lanes = make([]devLane, d.ct.numShards())
+	for i := range d.lanes {
+		ln := &d.lanes[i]
+		ln.frags = newFragEngine(cfg.FragLimit, cfg.Timeouts.Frag)
+		ln.reasm = make(map[packet.FlowKey4][]byte)
+	}
 	return d
 }
 
@@ -132,14 +183,73 @@ func (d *Device) Policy() *Policy { return d.policy }
 // Controller).
 func (d *Device) SetPolicy(p *Policy) { d.policy = p }
 
-// Stats returns a copy of the device counters.
-func (d *Device) Stats() Stats { return d.stats }
+// Stats folds all lane counters into the public map form. Only nonzero
+// trigger/miss types appear, matching the increment-on-demand maps the
+// single-lane device kept.
+func (d *Device) Stats() Stats {
+	st := Stats{
+		Triggers: make(map[BlockType]int),
+		Misses:   make(map[BlockType]int),
+	}
+	for i := range d.lanes {
+		ls := &d.lanes[i].stats
+		st.Handled += ls.handled
+		st.Dropped += ls.dropped
+		st.Rewritten += ls.rewritten
+		st.Throttled += ls.throttled
+		st.FragBuffers += ls.fragBuffers
+		for t := 0; t < numBlockTypes; t++ {
+			if n := ls.triggers[t]; n > 0 {
+				st.Triggers[BlockType(t)] += n
+			}
+			if n := ls.misses[t]; n > 0 {
+				st.Misses[BlockType(t)] += n
+			}
+		}
+	}
+	return st
+}
 
 // ConntrackSize exposes the flow-table size for resource experiments.
 func (d *Device) ConntrackSize() int { return d.ct.size() }
 
-// PendingFragQueues exposes the fragment-engine queue count.
-func (d *Device) PendingFragQueues() int { return d.frags.pending() }
+// PendingFragQueues exposes the fragment-engine queue count across lanes.
+func (d *Device) PendingFragQueues() int {
+	n := 0
+	for i := range d.lanes {
+		n += d.lanes[i].frags.pending()
+	}
+	return n
+}
+
+// fragDiscards / fragForwarded sum fragment-engine outcomes across lanes.
+func (d *Device) fragDiscards() int {
+	n := 0
+	for i := range d.lanes {
+		n += d.lanes[i].frags.discards
+	}
+	return n
+}
+
+func (d *Device) fragForwarded() int {
+	n := 0
+	for i := range d.lanes {
+		n += d.lanes[i].frags.forwarded
+	}
+	return n
+}
+
+// NumLanes reports the device's lane (= conntrack shard) count.
+func (d *Device) NumLanes() int { return len(d.lanes) }
+
+// LaneOf returns the index of the lane owning key's canonical host pair.
+// Fragments carry no ports, but PairHash ignores them, so every fragment and
+// every direction of a flow maps to one lane.
+//
+//tspuvet:hotpath
+func (d *Device) LaneOf(key packet.FlowKey4) int {
+	return int(key.PairHash() & d.ct.mask)
+}
 
 func (d *Device) now() time.Duration { return d.cfg.Sim.Now() }
 
@@ -150,31 +260,60 @@ func (d *Device) isLocalDir(dir netem.Direction) bool { return dir == d.cfg.Loca
 //
 //tspuvet:hotpath
 func (d *Device) Handle(pipe netem.Pipe, pkt *packet.Packet, dir netem.Direction) netem.Action {
-	d.stats.Handled++
+	key := packet.FlowKey4Of(pkt)
+	return d.handleLane(pipe, pkt, dir, key, d.LaneOf(key))
+}
+
+// HandleSharded is the batch engine's entry point: identical to Handle, with
+// the flow key and lane precomputed by the caller (which already hashed the
+// key to route the packet to this worker). lane MUST equal LaneOf(key); the
+// caller owns that lane for the duration of the call.
+//
+//tspuvet:hotpath
+func (d *Device) HandleSharded(pipe netem.Pipe, pkt *packet.Packet, dir netem.Direction, key packet.FlowKey4, lane int) netem.Action {
+	return d.handleLane(pipe, pkt, dir, key, lane)
+}
+
+//tspuvet:hotpath
+func (d *Device) handleLane(pipe netem.Pipe, pkt *packet.Packet, dir netem.Direction, key packet.FlowKey4, lane int) netem.Action {
+	ln := &d.lanes[lane]
+	sh := &d.ct.shards[lane]
+	ln.stats.handled++
 	now := d.now()
-	d.maybeSweep(now)
+	d.maybeSweepLane(now, sh, ln)
 
 	// 1. IP-based blocking applies to everything, fragments and ICMP
 	// included, "regardless of packet payload or TCP ports" (§5.2).
-	if act, decided := d.handleIPBlock(pkt, dir, now); decided {
+	if act, decided := d.handleIPBlock(pkt, dir, key, sh, ln, now); decided {
 		return act
 	}
 
 	// 2. Fragments go to the fragment engine; content inspection never sees
 	// them, which is why IP fragmentation evades SNI blocking (§8).
 	if pkt.IsFragment() {
-		d.stats.FragBuffers++
-		return d.frags.handle(pipe, pkt, dir)
+		ln.stats.fragBuffers++
+		return ln.frags.handle(pipe, pkt, dir)
 	}
 
 	switch {
 	case pkt.TCP != nil:
-		return d.handleTCP(pkt, dir, now)
+		return d.handleTCP(pkt, dir, key, sh, ln, now)
 	case pkt.UDP != nil:
-		return d.handleUDP(pkt, dir, now)
+		return d.handleUDP(pkt, dir, key, sh, ln, now)
 	default:
 		return netem.Pass
 	}
+}
+
+// maybeSweepLane runs this lane's housekeeping from the datapath: the lane's
+// own conntrack shard advances its timeout wheel, touching no shared state.
+func (d *Device) maybeSweepLane(now time.Duration, sh *ctShard, ln *devLane) {
+	if d.sweepEvery <= 0 || now-ln.lastSweep < d.sweepEvery {
+		return
+	}
+	ln.lastSweep = now
+	sh.advanceWheel(now)
+	sh.compactFIFO()
 }
 
 // handleIPBlock implements IP-based blocking (§5.2): a Russian client's
@@ -185,7 +324,7 @@ func (d *Device) Handle(pipe netem.Pipe, pkt *packet.Packet, dir netem.Direction
 // by conntrack origin: an upstream-only installation never sees the inbound
 // SYN, yet the paper observes it still rewrites the outbound SYN/ACK, so the
 // decision cannot depend on having tracked the flow from its start.
-func (d *Device) handleIPBlock(pkt *packet.Packet, dir netem.Direction, now time.Duration) (netem.Action, bool) {
+func (d *Device) handleIPBlock(pkt *packet.Packet, dir netem.Direction, key packet.FlowKey4, sh *ctShard, ln *devLane, now time.Duration) (netem.Action, bool) {
 	// Fast path: with no IP blocks in the policy (the overwhelmingly common
 	// case) there is nothing to decide, and in particular no reason to pay
 	// two address-map probes per packet.
@@ -200,18 +339,18 @@ func (d *Device) handleIPBlock(pkt *packet.Packet, dir netem.Direction, now time
 
 	// ICMP involving blocked IPs is dropped in both directions.
 	if pkt.IP.Protocol == packet.ProtoICMP {
-		d.stats.Dropped++
+		ln.stats.dropped++
 		return netem.Drop, true
 	}
 
 	if pkt.TCP != nil || pkt.UDP != nil {
 		// The per-connection failure roll is cached on the flow entry.
-		e := d.ct.observe(pkt, d.isLocalDir(dir), now)
+		e := sh.observe(key, pkt, d.isLocalDir(dir), now)
 		if !e.ipVerdictKnown {
 			e.ipVerdictKnown = true
-			e.ipBlocked = !d.failRoll(IPBlock)
+			e.ipBlocked = !d.failRoll(e, IPBlock, ln)
 			if e.ipBlocked {
-				d.stats.Triggers[IPBlock]++
+				ln.stats.triggers[IPBlock]++
 			}
 		}
 		if !e.ipBlocked {
@@ -224,44 +363,74 @@ func (d *Device) handleIPBlock(pkt *packet.Packet, dir netem.Direction, now time
 			// Response-shaped packet: strip the payload and flip to RST/ACK.
 			pkt.TCP.Payload = nil
 			pkt.TCP.Flags = packet.FlagsRSTACK
-			d.stats.Rewritten++
+			ln.stats.rewritten++
 			return netem.Pass, true
 		}
 		// Initiation-shaped (SYN, or non-TCP): dropped at the TSPU.
-		d.stats.Dropped++
+		ln.stats.dropped++
 		return netem.Drop, true
 	}
 	// Inbound from a blocked IP: the request is allowed through.
 	return netem.Pass, true
 }
 
+// flowRand draws the next value of e's private random stream: one splitmix64
+// finalization over (FlowSeed, flow hash, roll index). A pure function of
+// flow identity and roll count — nothing shared is consumed, so the result
+// is the same whichever worker, batch, or packet ordering gets here.
+//
+//tspuvet:hotpath
+func (d *Device) flowRand(e *flowEntry) uint64 {
+	seq := uint64(e.rollSeq)
+	e.rollSeq++
+	z := (d.cfg.FlowSeed ^ e.key.Hash()) + seq*0x9e3779b97f4a7c15
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
 // failRoll returns true when the device misses this trigger (per-connection
-// failure injection, Table 1).
-func (d *Device) failRoll(t BlockType) bool {
+// failure injection, Table 1). In PerFlowRand mode the roll comes from the
+// flow's private stream; otherwise from the device's shared stream.
+func (d *Device) failRoll(e *flowEntry, t BlockType, ln *devLane) bool {
 	rate, ok := d.cfg.FailureRates[t]
 	if !ok || rate <= 0 {
 		return false
 	}
-	if d.rng.Bool(rate) {
-		d.stats.Misses[t]++
-		return true
+	var miss bool
+	if d.cfg.PerFlowRand {
+		miss = float64(d.flowRand(e)>>11)/(1<<53) < rate
+	} else {
+		miss = d.rng.Bool(rate)
 	}
-	return false
+	if miss {
+		ln.stats.misses[t]++
+	}
+	return miss
 }
 
-func (d *Device) handleTCP(pkt *packet.Packet, dir netem.Direction, now time.Duration) netem.Action {
-	e := d.ct.observe(pkt, d.isLocalDir(dir), now)
+// sni2Allowance picks the "additional five to eight packets" SNI-II budget.
+func (d *Device) sni2Allowance(e *flowEntry) int {
+	if d.cfg.PerFlowRand {
+		span := uint64(d.cfg.SNI2AllowanceMax - d.cfg.SNI2AllowanceMin + 1)
+		return d.cfg.SNI2AllowanceMin + int(d.flowRand(e)%span)
+	}
+	return d.rng.IntRange(d.cfg.SNI2AllowanceMin, d.cfg.SNI2AllowanceMax)
+}
+
+func (d *Device) handleTCP(pkt *packet.Packet, dir netem.Direction, key packet.FlowKey4, sh *ctShard, ln *devLane, now time.Duration) netem.Action {
+	e := sh.observe(key, pkt, d.isLocalDir(dir), now)
 
 	// Active blocking state takes precedence over new trigger detection.
 	if b := e.activeBlock(now); b != nil {
-		return d.applyBlock(e, b, pkt, dir, now)
+		return d.applyBlock(e, b, pkt, dir, ln, now)
 	}
 
 	// Trigger detection happens only on local→remote packets: "any sequence
 	// starting with a packet sent by the remote peer is NOT a valid prefix"
 	// (§5.3.2).
 	if d.isLocalDir(dir) && len(pkt.TCP.Payload) > 0 && pkt.TCP.DstPort == 443 {
-		if act := d.detectSNITrigger(e, pkt, now); act != netem.Pass {
+		if act := d.detectSNITrigger(e, pkt, ln, now); act != netem.Pass {
 			return act
 		}
 	}
@@ -270,11 +439,11 @@ func (d *Device) handleTCP(pkt *packet.Packet, dir netem.Direction, now time.Dur
 
 // detectSNITrigger inspects one upstream payload for a triggering
 // ClientHello and installs the matching blocking state.
-func (d *Device) detectSNITrigger(e *flowEntry, pkt *packet.Packet, now time.Duration) netem.Action {
+func (d *Device) detectSNITrigger(e *flowEntry, pkt *packet.Packet, ln *devLane, now time.Duration) netem.Action {
 	if e.origin == OriginRemote && !d.cfg.StrictRoles {
 		return netem.Pass // remotely-originated connections are exempt
 	}
-	cls, ok := d.classifySNI(e, pkt)
+	cls, ok := d.classifySNI(e, pkt, ln)
 	if !ok || !cls.Any() {
 		return netem.Pass
 	}
@@ -285,10 +454,10 @@ func (d *Device) detectSNITrigger(e *flowEntry, pkt *packet.Packet, now time.Dur
 	// active: the same domains moved to SNI-I only after throttling was
 	// switched off on March 4 (§5.2).
 	if cls.Throttle && !e.isImmune(SNI3) {
-		if d.failRoll(SNI3) {
+		if d.failRoll(e, SNI3, ln) {
 			e.setImmune(SNI3)
 		} else {
-			d.stats.Triggers[SNI3]++
+			ln.stats.triggers[SNI3]++
 			bucket := newTokenBucket(d.policy.ThrottleRate, 0, now)
 			d.ct.setBlock(e, SNI3, now, 0, bucket)
 			return netem.Pass
@@ -298,10 +467,10 @@ func (d *Device) detectSNITrigger(e *flowEntry, pkt *packet.Packet, now time.Dur
 	// SNI-I: primary mechanism, skipped when the role heuristic was
 	// confused by a remote SYN (Fig. 4 green paths).
 	if cls.SNI1 && !confused && !e.isImmune(SNI1) {
-		if d.failRoll(SNI1) {
+		if d.failRoll(e, SNI1, ln) {
 			e.setImmune(SNI1)
 		} else {
-			d.stats.Triggers[SNI1]++
+			ln.stats.triggers[SNI1]++
 			d.ct.setBlock(e, SNI1, now, 0, nil)
 			return netem.Pass // the trigger itself is delivered
 		}
@@ -309,12 +478,12 @@ func (d *Device) detectSNITrigger(e *flowEntry, pkt *packet.Packet, now time.Dur
 	// SNI-IV: backup for its select domain list; fires when SNI-I did not
 	// take action. Drops everything including the trigger.
 	if cls.SNI4 && !e.isImmune(SNI4) {
-		if d.failRoll(SNI4) {
+		if d.failRoll(e, SNI4, ln) {
 			e.setImmune(SNI4)
 		} else {
-			d.stats.Triggers[SNI4]++
+			ln.stats.triggers[SNI4]++
 			d.ct.setBlock(e, SNI4, now, 0, nil)
-			d.stats.Dropped++
+			ln.stats.dropped++
 			return netem.Drop
 		}
 	}
@@ -322,12 +491,11 @@ func (d *Device) detectSNITrigger(e *flowEntry, pkt *packet.Packet, now time.Dur
 	// Table 8 measures "Ls;Rs;Lt" as DROP with an SNI-II trigger.
 	// SNI-II: allowance then symmetric drop.
 	if cls.SNI2 && !e.isImmune(SNI2) {
-		if d.failRoll(SNI2) {
+		if d.failRoll(e, SNI2, ln) {
 			e.setImmune(SNI2)
 		} else {
-			d.stats.Triggers[SNI2]++
-			allowance := d.rng.IntRange(d.cfg.SNI2AllowanceMin, d.cfg.SNI2AllowanceMax)
-			d.ct.setBlock(e, SNI2, now, allowance, nil)
+			ln.stats.triggers[SNI2]++
+			d.ct.setBlock(e, SNI2, now, d.sni2Allowance(e), nil)
 			return netem.Pass
 		}
 	}
@@ -336,18 +504,19 @@ func (d *Device) detectSNITrigger(e *flowEntry, pkt *packet.Packet, now time.Dur
 
 // classifySNI parses the packet payload (depth-limited, single record) for a
 // ClientHello SNI and classifies it under the current policy. The fast path
-// pairs tlsx.ExtractSNI with Policy.ClassifyBytes so a pass-through packet —
-// TLS or not — is inspected without a single allocation; slowClassifySNI is
+// pairs tlsx.ExtractSNI with Policy case-folding into the lane's scratch so
+// a pass-through packet — TLS or not — is inspected without a single
+// allocation and without touching shared policy buffers; slowClassifySNI is
 // the retained reference implementation. With the ReassembleTCP ablation the
 // device instead accumulates upstream bytes per flow and parses the stream
 // prefix, which defeats TCP segmentation evasion.
-func (d *Device) classifySNI(e *flowEntry, pkt *packet.Packet) (Classification, bool) {
+func (d *Device) classifySNI(e *flowEntry, pkt *packet.Packet, ln *devLane) (Classification, bool) {
 	if d.cfg.ReassembleTCP {
-		acc := append(d.reasm[e.key], pkt.TCP.Payload...)
+		acc := append(ln.reasm[e.key], pkt.TCP.Payload...)
 		if len(acc) > 4096 {
 			acc = acc[:4096]
 		}
-		d.reasm[e.key] = acc
+		ln.reasm[e.key] = acc
 		if info, err := tlsx.ParseClientHelloDeep(acc); err == nil && info.ServerName != "" {
 			return d.policy.Classify(info.ServerName), true
 		}
@@ -368,7 +537,7 @@ func (d *Device) classifySNI(e *flowEntry, pkt *packet.Packet) (Classification, 
 	if !ok {
 		return Classification{}, false
 	}
-	return d.policy.ClassifyBytes(sni), true
+	return d.policy.classifyBytesWith(sni, &ln.fold), true
 }
 
 // slowExtractSNI is the pre-optimization reference: a full structural parse
@@ -390,7 +559,7 @@ func (d *Device) slowExtractSNI(pkt *packet.Packet) (string, bool) {
 }
 
 // applyBlock enforces an installed blocking state on one packet.
-func (d *Device) applyBlock(e *flowEntry, b *blockState, pkt *packet.Packet, dir netem.Direction, now time.Duration) netem.Action {
+func (d *Device) applyBlock(e *flowEntry, b *blockState, pkt *packet.Packet, dir netem.Direction, ln *devLane, now time.Duration) netem.Action {
 	switch b.typ {
 	case SNI1:
 		// Acts only on downstream (remote→local) packets: truncate payload,
@@ -398,7 +567,7 @@ func (d *Device) applyBlock(e *flowEntry, b *blockState, pkt *packet.Packet, dir
 		if !d.isLocalDir(dir) {
 			pkt.TCP.Payload = nil
 			pkt.TCP.Flags = packet.FlagsRSTACK
-			d.stats.Rewritten++
+			ln.stats.rewritten++
 		}
 		return netem.Pass
 	case SNI2:
@@ -406,35 +575,35 @@ func (d *Device) applyBlock(e *flowEntry, b *blockState, pkt *packet.Packet, dir
 			b.allowance--
 			return netem.Pass
 		}
-		d.stats.Dropped++
+		ln.stats.dropped++
 		return netem.Drop
 	case SNI3:
 		if b.bucket.admit(len(pkt.AppPayload()), now) {
 			return netem.Pass
 		}
-		d.stats.Throttled++
+		ln.stats.throttled++
 		return netem.Drop
 	case SNI4, QUICBlock:
-		d.stats.Dropped++
+		ln.stats.dropped++
 		return netem.Drop
 	}
 	return netem.Pass
 }
 
-func (d *Device) handleUDP(pkt *packet.Packet, dir netem.Direction, now time.Duration) netem.Action {
-	e := d.ct.observe(pkt, d.isLocalDir(dir), now)
+func (d *Device) handleUDP(pkt *packet.Packet, dir netem.Direction, key packet.FlowKey4, sh *ctShard, ln *devLane, now time.Duration) netem.Action {
+	e := sh.observe(key, pkt, d.isLocalDir(dir), now)
 
 	if b := e.activeBlock(now); b != nil {
-		return d.applyBlock(e, b, pkt, dir, now)
+		return d.applyBlock(e, b, pkt, dir, ln, now)
 	}
 	if !d.policy.QUICFilter || !d.isLocalDir(dir) {
 		return netem.Pass
 	}
 	if quicx.MatchesTSPUFingerprint(pkt.UDP.DstPort, pkt.UDP.Payload) && !e.isImmune(QUICBlock) {
-		if d.failRoll(QUICBlock) {
+		if d.failRoll(e, QUICBlock, ln) {
 			e.setImmune(QUICBlock)
 		} else {
-			d.stats.Triggers[QUICBlock]++
+			ln.stats.triggers[QUICBlock]++
 			d.ct.setBlock(e, QUICBlock, now, 0, nil)
 			// The fingerprinted packet itself is delivered; everything after
 			// is dropped "regardless of their length or the presence of the

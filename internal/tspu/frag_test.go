@@ -148,7 +148,7 @@ func TestDuplicateFragmentDiscardsQueue(t *testing.T) {
 	if received != 0 {
 		t.Fatalf("duplicate: received %d, want 0 (RFC 5722 says ignore, TSPU discards)", received)
 	}
-	if l.device.frags.discards == 0 {
+	if l.device.fragDiscards() == 0 {
 		t.Fatal("no discard recorded")
 	}
 }
@@ -281,8 +281,8 @@ func TestFragEngineStatsAndVerdicts(t *testing.T) {
 	frags := fragmentedSYN(t, l, 2, 912)
 	l.sendFragments(frags, time.Millisecond)
 	l.sim.Run()
-	if l.device.frags.forwarded != 1 {
-		t.Fatalf("forwarded queues = %d", l.device.frags.forwarded)
+	if l.device.fragForwarded() != 1 {
+		t.Fatalf("forwarded queues = %d", l.device.fragForwarded())
 	}
 	if l.device.Stats().FragBuffers != 2 {
 		t.Fatalf("FragBuffers = %d", l.device.Stats().FragBuffers)

@@ -147,6 +147,19 @@ func (s *DomainSet) Contains(name string) bool {
 //
 //tspuvet:hotpath
 func (s *DomainSet) Match(name []byte) bool {
+	if s == nil {
+		return false
+	}
+	return s.matchWith(name, &s.lower)
+}
+
+// matchWith is Match with caller-owned case-folding scratch: the batch
+// engine's lanes pass their own buffers so a policy shared by concurrent
+// lanes stays read-only on the packet path. The scratch slice is grown in
+// place through the pointer and reused across calls.
+//
+//tspuvet:hotpath
+func (s *DomainSet) matchWith(name []byte, lower *[]byte) bool {
 	if s == nil || len(s.exact) == 0 {
 		return false
 	}
@@ -155,13 +168,14 @@ func (s *DomainSet) Match(name []byte) bool {
 	}
 	for i := 0; i < len(name); i++ {
 		if c := name[i]; 'A' <= c && c <= 'Z' {
-			s.lower = append(s.lower[:0], name...)
-			for j := i; j < len(s.lower); j++ {
-				if c := s.lower[j]; 'A' <= c && c <= 'Z' {
-					s.lower[j] = c + ('a' - 'A')
+			buf := append((*lower)[:0], name...)
+			for j := i; j < len(buf); j++ {
+				if c := buf[j]; 'A' <= c && c <= 'Z' {
+					buf[j] = c + ('a' - 'A')
 				}
 			}
-			name = s.lower
+			*lower = buf
+			name = buf
 			break
 		}
 	}
@@ -300,6 +314,23 @@ func (p *Policy) ClassifyBytes(domain []byte) Classification {
 		SNI4: p.SNI4Domains.Match(domain),
 	}
 	if p.ThrottleActive && p.ThrottleDomains.Match(domain) {
+		c.Throttle = true
+	}
+	return c
+}
+
+// classifyBytesWith is ClassifyBytes with caller-owned fold scratch, for
+// device lanes classifying concurrently against one shared policy. One
+// buffer serves all four set lookups (they run sequentially per packet).
+//
+//tspuvet:hotpath
+func (p *Policy) classifyBytesWith(domain []byte, lower *[]byte) Classification {
+	c := Classification{
+		SNI1: p.SNI1Domains.matchWith(domain, lower),
+		SNI2: p.SNI2Domains.matchWith(domain, lower),
+		SNI4: p.SNI4Domains.matchWith(domain, lower),
+	}
+	if p.ThrottleActive && p.ThrottleDomains.matchWith(domain, lower) {
 		c.Throttle = true
 	}
 	return c

@@ -11,12 +11,11 @@ import (
 // not reassemble TCP, and its ability to "patch" evasions depends on
 // whether it is "provisioned with enough computation and memory resources".
 // This file makes that trade-off concrete: a bounded flow table with FIFO
-// pressure eviction, and a periodic sweeper that reclaims expired state.
-// With a bound configured, a state-exhaustion flood can evict an active
-// blocking entry — turning the provisioning question into a measurable
-// evasion.
+// pressure eviction, and a sweeper that reclaims expired state. With a bound
+// configured, a state-exhaustion flood can evict an active blocking entry —
+// turning the provisioning question into a measurable evasion.
 
-// capacity bookkeeping lives on the conntrack.
+// capacity bookkeeping lives on each conntrack shard.
 type capacityState struct {
 	maxFlows int
 	// fifo holds insertion order for pressure eviction; stale keys are
@@ -27,13 +26,29 @@ type capacityState struct {
 }
 
 // SetMaxFlows bounds the device's flow table. Zero means unlimited (the
-// default, i.e. a well-provisioned device).
+// default, i.e. a well-provisioned device). With a sharded table the bound is
+// divided evenly across shards (rounded up), so the aggregate bound is at
+// least n and memory pressure is felt locally — a hot host pair exhausts its
+// shard the way a hot TSPU exhausts one box, not the whole deployment.
 func (d *Device) SetMaxFlows(n int) {
-	d.ct.cap.maxFlows = n
+	shards := len(d.ct.shards)
+	per := n
+	if n > 0 && shards > 1 {
+		per = (n + shards - 1) / shards
+	}
+	for i := range d.ct.shards {
+		d.ct.shards[i].cap.maxFlows = per
+	}
 }
 
 // PressureEvictions reports how many entries were evicted to make room.
-func (d *Device) PressureEvictions() int { return d.ct.cap.pressureEvictions }
+func (d *Device) PressureEvictions() int {
+	n := 0
+	for i := range d.ct.shards {
+		n += d.ct.shards[i].cap.pressureEvictions
+	}
+	return n
+}
 
 // noteInsert records a new entry and, if over capacity, evicts the oldest
 // live entry that is not the one just inserted. Insertion order is tracked
@@ -41,13 +56,13 @@ func (d *Device) PressureEvictions() int { return d.ct.cap.pressureEvictions }
 // loop always consumes one queued key per iteration (the just-inserted key
 // terminates it), so it cannot spin even when the table holds entries the
 // queue no longer covers.
-func (ct *conntrack) noteInsert(key packet.FlowKey4) {
-	c := &ct.cap
+func (sh *ctShard) noteInsert(key packet.FlowKey4) {
+	c := &sh.cap
 	c.fifo = append(c.fifo, key)
 	if c.maxFlows <= 0 {
 		return
 	}
-	for len(ct.table) > c.maxFlows && len(c.fifo) > 0 {
+	for len(sh.table) > c.maxFlows && len(c.fifo) > 0 {
 		victim := c.fifo[0]
 		c.fifo = c.fifo[1:]
 		if victim == key {
@@ -56,38 +71,63 @@ func (ct *conntrack) noteInsert(key packet.FlowKey4) {
 			c.fifo = append(c.fifo, victim)
 			return
 		}
-		if ve, live := ct.table[victim]; live {
-			delete(ct.table, victim)
-			ct.release(ve)
+		if ve, live := sh.table[victim]; live {
+			delete(sh.table, victim)
+			sh.release(ve)
 			c.pressureEvictions++
 		}
 	}
 }
 
+// compactFIFO drops queued keys whose entries are gone so the insertion
+// queue does not grow with total churn.
+func (sh *ctShard) compactFIFO() {
+	live := sh.cap.fifo[:0]
+	for _, k := range sh.cap.fifo {
+		if _, ok := sh.table[k]; ok {
+			live = append(live, k)
+		}
+	}
+	sh.cap.fifo = live
+}
+
 // Sweep removes expired entries immediately instead of waiting for lazy
-// eviction on next access; it returns the number reclaimed. Long scans
-// otherwise leave large tables of dead flows.
+// eviction on next access; it returns the number reclaimed. Each shard
+// advances its timeout wheel, visiting only the buckets that elapsed —
+// reclaim cost scales with expired flows, not table size.
 //
 //tspuvet:coldpath periodic housekeeping, rate-limited to once per sweep interval
 func (ct *conntrack) Sweep(now time.Duration) int {
 	n := 0
-	for k, e := range ct.table {
-		if now >= e.expires {
-			delete(ct.table, k)
-			ct.release(e)
-			n++
-		}
+	for i := range ct.shards {
+		sh := &ct.shards[i]
+		n += sh.advanceWheel(now)
+		sh.compactFIFO()
 	}
-	ct.evictions += n
-	// Compact the insertion queue: drop keys whose entries are gone so it
-	// does not grow with total churn.
-	live := ct.cap.fifo[:0]
-	for _, k := range ct.cap.fifo {
-		if _, ok := ct.table[k]; ok {
-			live = append(live, k)
+	return n
+}
+
+// sweepScan is the pre-wheel full-table scan, kept as the equivalence oracle
+// for the timeout wheel: after either sweep, no entry with expires <= now
+// remains, and both report the same reclaim count on the same table state.
+//
+//tspuvet:coldpath test oracle for wheel-vs-scan sweep equivalence
+func (ct *conntrack) sweepScan(now time.Duration) int {
+	n := 0
+	for i := range ct.shards {
+		sh := &ct.shards[i]
+		reclaimed := 0
+		for k, e := range sh.table {
+			if now >= e.expires {
+				delete(sh.table, k)
+				sh.release(e)
+				reclaimed++
+			}
 		}
+		sh.evictions += reclaimed
+		sh.compactFIFO()
+		n += reclaimed
 	}
-	ct.cap.fifo = live
 	return n
 }
 
@@ -96,23 +136,30 @@ func (d *Device) Sweep() int {
 	return d.ct.Sweep(d.now())
 }
 
-// EnableAutoSweep makes the device sweep at most once per interval,
-// piggybacked on packet handling — housekeeping rides the datapath rather
-// than pinning the event loop with a self-rescheduling timer (which would
-// keep the simulation alive forever).
+// ConntrackEvictions reports how many entries have been reclaimed by timeout
+// (sweeps and lazy expiry on access), as opposed to capacity pressure.
+func (d *Device) ConntrackEvictions() int { return d.ct.evictionCount() }
+
+// ConntrackPoolStats exposes the per-shard entry-pool counters, aggregated:
+// fresh allocations, freelist reuses, and entries currently parked. At scale
+// the invariant of interest is allocs ≈ peak concurrency even when total
+// churned flows are far larger — steady-state churn must be served by reuse.
+func (d *Device) ConntrackPoolStats() (allocs, reuses uint64, pooled int) {
+	return d.ct.poolStats()
+}
+
+// EnableAutoSweep makes each lane sweep its own conntrack shard at most once
+// per interval, piggybacked on packet handling — housekeeping rides the
+// datapath rather than pinning the event loop with a self-rescheduling timer
+// (which would keep the simulation alive forever), and stays lane-local so
+// the batch engine's workers never sweep each other's shards.
 func (d *Device) EnableAutoSweep(interval time.Duration) {
 	if interval <= 0 {
 		interval = 30 * time.Second
 	}
 	d.sweepEvery = interval
-	d.lastSweep = d.now()
-}
-
-// maybeSweep runs from the datapath.
-func (d *Device) maybeSweep(now time.Duration) {
-	if d.sweepEvery <= 0 || now-d.lastSweep < d.sweepEvery {
-		return
+	now := d.now()
+	for i := range d.lanes {
+		d.lanes[i].lastSweep = now
 	}
-	d.lastSweep = now
-	d.ct.Sweep(now)
 }

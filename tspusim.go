@@ -244,6 +244,25 @@ func Experiments() []Experiment {
 			},
 		},
 		{
+			ID: "exhaustscale", Title: "State exhaustion at scale (batch-engine flood)", Paper: "§5.3.3, §8 (provisioning)",
+			Run: func(lab *Lab) string {
+				// Offered load scales with the lab's population knob: the
+				// tspu-lab default (2000 endpoints) floods at 20k flows/s for
+				// a ~1.2M-flow concurrency plateau; -endpoints scales it up
+				// to the paper's millions. Bounds bracket the plateau so the
+				// table shows both survival and shedding.
+				cfg := measure.DefaultExhaustScale()
+				cfg.Seed = lab.Opts.Seed
+				cfg.Rate = 10 * len(lab.Endpoints)
+				if cfg.Rate < 500 {
+					cfg.Rate = 500
+				}
+				plateau := cfg.Rate * 60
+				cfg.Bounds = []int{0, 2 * plateau, plateau / 8, plateau / 128}
+				return measure.StateExhaustionAtScale(cfg).Render()
+			},
+		},
+		{
 			ID: "devices", Title: "TSPU fleet counters under a mixed workload", Paper: "(observability)",
 			Run: func(lab *Lab) string {
 				return measure.Devices(lab).Render()
