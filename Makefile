@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: all check vet lint vet-hotpath escapes escapes-update build test race race-focus conformance cover bench bench-all bench-update bench-throughput bench-throughput-update fleet-smoke fuzz-smoke
+.PHONY: all check vet lint vet-hotpath vet-contracts pooldebug escapes escapes-update build test race race-focus race-lanes conformance cover bench bench-all bench-update bench-throughput bench-throughput-update fleet-smoke fuzz-smoke
 
 # Benchmarks gated by the regression harness (hot-path device benches, fleet
 # orchestration, and the ablations). BENCH_COUNT samples each; perfstat takes
@@ -22,7 +22,7 @@ ENGINE_BENCH_PATTERN = ^(BenchmarkEngine_Passthrough$$|BenchmarkEngine_TLSMix$$|
 
 all: check
 
-check: vet lint escapes build test conformance race
+check: vet lint vet-contracts escapes build test conformance race race-lanes
 
 vet:
 	$(GO) vet ./...
@@ -41,6 +41,20 @@ lint:
 vet-hotpath:
 	$(GO) build -o /tmp/tspu-vet ./cmd/tspu-vet
 	/tmp/tspu-vet -walltime=false -globalrand=false -maporder=false -synccheck=false ./...
+
+# vet-contracts runs only the ownership and lane-isolation analyzers —
+# retaincheck, lanecheck, poolcheck (plus allowdirective, so stale or
+# malformed suppressions still fail) — the focused inner loop while
+# annotating retention or lane contracts.
+vet-contracts:
+	$(GO) build -o /tmp/tspu-vet ./cmd/tspu-vet
+	/tmp/tspu-vet -walltime=false -globalrand=false -maporder=false -hotpath=false -synccheck=false ./...
+
+# pooldebug runs the tspu and sim suites with released pooled records
+# poisoned: use-after-release and double release panic instead of silently
+# reading reused memory. The normal build compiles the hooks to no-ops.
+pooldebug:
+	$(GO) test -tags=pooldebug -count=1 ./internal/sim ./internal/tspu
 
 # escapes is the compiler-backed half of the hot-path contract: diff the
 # escape-analysis diagnostics of the annotated packages against the
@@ -68,6 +82,13 @@ race:
 # it) under the race detector with live (uncached) runs.
 race-focus:
 	$(GO) test -race -count=1 ./internal/fleet/... ./internal/conformance/...
+
+# race-lanes is the multi-core cross-check of the lanecheck analyzer: the
+# engine worker fan-out (Workers forced past 1) and the sharded device
+# driven one goroutine per lane, under the race detector. A cross-lane
+# touch the static analysis missed shows up here as a data race.
+race-lanes:
+	$(GO) test -race -count=1 -run 'Engine|Shard' ./internal/engine ./internal/tspu
 
 # Model-based conformance: 1,000 seeded scenarios replayed through the
 # device and the paper-derived oracle (zero divergences required), golden

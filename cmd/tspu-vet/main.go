@@ -1,8 +1,11 @@
-// Command tspu-vet enforces the determinism and hot-path contracts of
-// DESIGN.md: every experiment's output must be a pure function of the lab
-// seed, and the per-packet path must not allocate. It runs six analyzers —
-// walltime, globalrand, maporder, hotpath, synccheck, allowdirective — over
-// the module (see internal/lint for what each forbids and why).
+// Command tspu-vet enforces the determinism, hot-path, and ownership
+// contracts of DESIGN.md: every experiment's output must be a pure function
+// of the lab seed, the per-packet path must not allocate, a middlebox must
+// not retain a packet it did not clone, lane-parallel code must stay inside
+// its own shard, and pooled records must not be touched after release. It
+// runs nine analyzers — walltime, globalrand, maporder, hotpath, synccheck,
+// retaincheck, lanecheck, poolcheck, allowdirective — over the module (see
+// internal/lint for what each forbids and why).
 //
 // Standalone, over package patterns (the make lint target):
 //
@@ -25,6 +28,14 @@
 //
 // Hot-path roots are declared with //tspuvet:hotpath on the function's doc
 // comment; //tspuvet:coldpath <reason> cuts a callee out of the contract.
+// Lane entry points carry //tspuvet:lane, per-lane types //tspuvet:laneowned,
+// and deliberate packet retention is declared where it happens:
+//
+//	c.ring = append(c.ring, pkt) //tspuvet:retains the capture owns its tap copies
+//
+// //tspuvet:retains is retaincheck's own suppression verb: the reason is
+// mandatory, and the directive turns into a diagnostic the moment the
+// annotated line stops retaining anything.
 //
 // tspu-vet exits non-zero if any diagnostic survives suppression; an unused
 // or malformed //tspuvet:allow is itself a diagnostic, so the allowlist

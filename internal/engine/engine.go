@@ -73,6 +73,8 @@ type outPkt struct {
 
 // laneState is one lane's batch-scoped buffers. Everything here is written
 // only by the worker running the lane, between barriers.
+//
+//tspuvet:laneowned
 type laneState struct {
 	// q holds the indexes of this batch's items owned by the lane, in
 	// arrival order.
@@ -182,6 +184,7 @@ func (e *Engine) Push(pkt *packet.Packet, dir netem.Direction) bool {
 		return false
 	}
 	it := &e.items[e.n]
+	//tspuvet:retains ring item owns the packet until Process drains the batch and the caller reclaims it
 	it.Pkt = pkt
 	it.Dir = dir
 	it.Verdict = netem.Pass
@@ -260,9 +263,11 @@ func (e *Engine) Process() []Item {
 }
 
 // runLane drives one lane's slice of the batch through the chain in arrival
-// order. Nothing outside the lane's own state is written.
+// order. Nothing outside the lane's own state is written; lanecheck verifies
+// that claim over everything reachable from here.
 //
 //tspuvet:hotpath
+//tspuvet:lane
 func (e *Engine) runLane(l int, items []Item) {
 	ln := &e.lane[l]
 	for _, idx := range ln.q {
@@ -271,6 +276,7 @@ func (e *Engine) runLane(l int, items []Item) {
 		if it.Dir == netem.BtoA {
 			start = len(e.devices) - 1
 		}
+		//tspuvet:allow lanecheck: the scatter pass partitions items rows by lane — ln.q holds only this lane's indexes, so no two lanes write the same row
 		it.Verdict = e.runChain(ln, l, it.Pkt, it.Dir, it.key, start)
 		if it.Verdict == netem.Drop {
 			ln.drops++
@@ -293,6 +299,7 @@ func (e *Engine) runChain(ln *laneState, l int, pkt *packet.Packet, dir netem.Di
 		}
 	}
 	if e.deliver != nil {
+		//tspuvet:retains lane out-buffer holds passed packets only until the post-batch deliver fan-out in Process
 		ln.out = append(ln.out, outPkt{pkt: pkt, dir: dir})
 	}
 	return netem.Pass
@@ -303,6 +310,8 @@ func (e *Engine) runChain(ln *laneState, l int, pkt *packet.Packet, dir netem.Di
 // legal because an injected packet shares the flow's host pair and therefore
 // the lane — while After is buffered until the batch barrier, because the
 // simulator is not safe to call from lane workers.
+//
+//tspuvet:laneowned
 type lanePipe struct {
 	e    *Engine
 	lane int32
@@ -310,7 +319,11 @@ type lanePipe struct {
 }
 
 // Inject mirrors netem.linkPipe.Inject: the packet enters the chain one
-// position past this device in its direction of travel.
+// position past this device in its direction of travel. Devices call it
+// through the Pipe interface from lane workers, so it is a lane entry point
+// in its own right (the receiver carries the lane).
+//
+//tspuvet:lane
 func (p *lanePipe) Inject(pkt *packet.Packet, dir netem.Direction) {
 	next := int(p.idx) + 1
 	if dir == netem.BtoA {
@@ -325,7 +338,10 @@ func (p *lanePipe) Now() time.Duration { return p.e.sim.Now() }
 
 // After buffers the callback for post-barrier scheduling. The simulator does
 // not advance during Process, so flushing after the barrier registers fn at
-// the same virtual instant a direct call would have.
+// the same virtual instant a direct call would have. Like Inject, it runs on
+// lane workers via the Pipe interface.
+//
+//tspuvet:lane
 func (p *lanePipe) After(d time.Duration, fn func()) {
 	ln := &p.e.lane[p.lane]
 	ln.afterD = append(ln.afterD, d)

@@ -250,6 +250,26 @@ func TestWorkerCountDeterminism(t *testing.T) {
 	}
 }
 
+// TestEngineMultiWorkerRace forces Workers well past 1 with a stream large
+// enough for the race detector to see real lane interleaving; the verdict
+// stream must still match the single-worker reference. This is the dynamic
+// cross-check of the lanecheck analyzer's static lane-isolation contract.
+func TestEngineMultiWorkerRace(t *testing.T) {
+	stream := testStream(7, 4000)
+	var ref []string
+	for _, workers := range []int{1, 8} {
+		s := sim.New()
+		d := testDevice(s, "mw", 8, 7)
+		e := New(Config{Sim: s, Devices: []*tspu.Device{d}, Workers: workers})
+		got := runBatched(e, stream, 256)
+		if ref == nil {
+			ref = got
+			continue
+		}
+		compareLogs(t, fmt.Sprintf("workers=%d", workers), ref, got)
+	}
+}
+
 // TestShardCountDeterminism pins that lane count is invisible in behavior.
 func TestShardCountDeterminism(t *testing.T) {
 	stream := testStream(6, 2000)

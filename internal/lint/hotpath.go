@@ -740,6 +740,16 @@ func exprString(e ast.Expr) string {
 		return e.Name
 	case *ast.SelectorExpr:
 		return exprString(e.X) + "." + e.Sel.Name
+	case *ast.BasicLit:
+		return e.Value
+	case *ast.IndexExpr:
+		return exprString(e.X) + "[" + exprString(e.Index) + "]"
+	case *ast.StarExpr:
+		return "*" + exprString(e.X)
+	case *ast.UnaryExpr:
+		if e.Op == token.AND {
+			return "&" + exprString(e.X)
+		}
 	}
 	return "expr"
 }

@@ -13,6 +13,21 @@
 //     crypto/rand — all entropy must derive from sim.Rand / sim.StreamSeed.
 //   - maporder: flags `for k := range m` over maps whose body feeds ordered
 //     output (append, string building, report tables) without sorting.
+//   - hotpath: a call graph rooted at every //tspuvet:hotpath function;
+//     allocating constructs on reachable paths are diagnostics with their
+//     call chain. //tspuvet:coldpath <reason> cuts a callee out.
+//   - synccheck: sync primitives copied by value, WaitGroup.Add inside the
+//     goroutine it accounts for, channel sends in select without default.
+//   - retaincheck: taint analysis over *packet.Packet parameters and their
+//     payload-derived slices; a packet must not flow into a store that
+//     outlives the call unless it passes through a Clone/Marshal-style copy
+//     first. Deliberate retention carries //tspuvet:retains <reason>.
+//   - lanecheck: code reachable from a //tspuvet:lane entry point may touch
+//     sharded state (//tspuvet:laneowned types) only through the lane's own
+//     shard, indexed by the lane parameter; writes to shared structs and
+//     draws from a shared sim.Rand are diagnostics.
+//   - poolcheck: pool lifecycle — use-after-Release/Put, double release,
+//     and references escaping after the release point.
 //   - allowdirective: validates //tspuvet:allow suppression directives; a
 //     malformed directive, an unknown analyzer name, or (via Suppress) a
 //     directive that no longer suppresses anything is itself a diagnostic.
@@ -24,6 +39,9 @@
 // A directive suppresses diagnostics of the named analyzer on its own line
 // or on the line immediately below it (so it can trail the offending line or
 // sit on its own line above it). The reason is mandatory.
+// //tspuvet:retains <reason> is sugar for a retaincheck suppression with the
+// same placement rules: it marks a deliberate packet-retention site and rots
+// into a diagnostic the moment the line stops retaining.
 package lint
 
 import (
@@ -37,29 +55,34 @@ import (
 
 // Analyzers returns the full suite in stable order.
 func Analyzers() []*analysis.Analyzer {
-	return []*analysis.Analyzer{Walltime, Globalrand, Maporder, Hotpath, Synccheck, Allowdirective}
+	return []*analysis.Analyzer{Walltime, Globalrand, Maporder, Hotpath, Synccheck, Retaincheck, Lanecheck, Poolcheck, Allowdirective}
 }
 
 // Suppressible names the analyzers a //tspuvet:allow directive may target.
 // Allowdirective itself is excluded: suppressing the suppression checker
 // would let the allowlist rot, which is the one thing it exists to prevent.
 var Suppressible = map[string]bool{
-	"walltime":   true,
-	"globalrand": true,
-	"maporder":   true,
-	"hotpath":    true,
-	"synccheck":  true,
+	"walltime":    true,
+	"globalrand":  true,
+	"maporder":    true,
+	"hotpath":     true,
+	"synccheck":   true,
+	"retaincheck": true,
+	"lanecheck":   true,
+	"poolcheck":   true,
 }
 
 // suppressibleNames is the sorted human-readable list for diagnostics.
-const suppressibleNames = "globalrand, hotpath, maporder, synccheck, walltime"
+const suppressibleNames = "globalrand, hotpath, lanecheck, maporder, poolcheck, retaincheck, synccheck, walltime"
 
 const directivePrefix = "//tspuvet:"
 
-// Directive is one parsed //tspuvet:allow comment.
+// Directive is one parsed suppression comment: //tspuvet:allow, or
+// //tspuvet:retains (which suppresses retaincheck).
 type Directive struct {
 	Pos      token.Pos
 	Line     int    // source line the directive sits on
+	Verb     string // "allow" or "retains", for rendering
 	Analyzer string // suppressed analyzer name
 	Reason   string
 }
@@ -87,10 +110,36 @@ func ParseDirectives(fset *token.FileSet, file *ast.File, report func(analysis.D
 				// itself (attachment, reasons); they are not suppressions.
 				continue
 			}
+			if verb == "lane" || verb == "laneowned" {
+				// Lane markers are validated by the lanecheck analyzer
+				// (attachment to the right declaration kind).
+				continue
+			}
+			if verb == "retains" {
+				// A deliberate packet-retention site: sugar for a retaincheck
+				// suppression, so the used/unused bookkeeping in Suppress
+				// applies to it unchanged.
+				reason := strings.TrimSpace(rest)
+				if reason == "" {
+					report(analysis.Diagnostic{Pos: c.Pos(), Message: fmt.Sprintf(
+						"//tspuvet:retains is missing a reason: deliberate packet retention must explain " +
+							"who owns the copy and when it is dropped")})
+					continue
+				}
+				dirs = append(dirs, Directive{
+					Pos:      c.Pos(),
+					Line:     fset.Position(c.Pos()).Line,
+					Verb:     verb,
+					Analyzer: Retaincheck.Name,
+					Reason:   reason,
+				})
+				continue
+			}
 			if verb != "allow" {
 				report(analysis.Diagnostic{Pos: c.Pos(), Message: fmt.Sprintf(
 					"unknown tspuvet directive %q (recognized: //tspuvet:allow <analyzer>: <reason>, "+
-						"//tspuvet:hotpath, //tspuvet:coldpath <reason>)", verb)})
+						"//tspuvet:retains <reason>, //tspuvet:hotpath, //tspuvet:coldpath <reason>, "+
+						"//tspuvet:lane, //tspuvet:laneowned)", verb)})
 				continue
 			}
 			name, reason, ok := strings.Cut(rest, ":")
@@ -114,6 +163,7 @@ func ParseDirectives(fset *token.FileSet, file *ast.File, report func(analysis.D
 			dirs = append(dirs, Directive{
 				Pos:      c.Pos(),
 				Line:     fset.Position(c.Pos()).Line,
+				Verb:     verb,
 				Analyzer: name,
 				Reason:   reason,
 			})
@@ -164,11 +214,15 @@ func Suppress(fset *token.FileSet, files []*ast.File, diags []analysis.Diagnosti
 	}
 	for _, dir := range all {
 		if !used[dir] && ran[dir.Analyzer] {
+			msg := fmt.Sprintf("unused //tspuvet:allow %s directive: it no longer suppresses any diagnostic; delete it",
+				dir.Analyzer)
+			if dir.Verb == "retains" {
+				msg = "unused //tspuvet:retains directive: the annotated line no longer retains a packet; delete it"
+			}
 			kept = append(kept, analysis.Diagnostic{
 				Pos:      dir.Pos,
 				Category: Allowdirective.Name,
-				Message: fmt.Sprintf("unused //tspuvet:allow %s directive: it no longer suppresses any diagnostic; delete it",
-					dir.Analyzer),
+				Message:  msg,
 			})
 		}
 	}

@@ -37,3 +37,29 @@ func TestSynccheck(t *testing.T) {
 func TestHotpathRegress(t *testing.T) {
 	analysistest.Run(t, "testdata", lint.Hotpath, "hotpathregress")
 }
+
+func TestRetaincheck(t *testing.T) {
+	analysistest.Run(t, "testdata", lint.Retaincheck, "retaincheck")
+}
+
+func TestLanecheck(t *testing.T) {
+	analysistest.Run(t, "testdata", lint.Lanecheck, "lanecheck")
+}
+
+func TestPoolcheck(t *testing.T) {
+	analysistest.Run(t, "testdata", lint.Poolcheck, "poolcheck")
+}
+
+// TestRetainRegress is the fault re-injection fixture for retaincheck: the
+// capture-middlebox shape PR 6's clone-free handoff makes dangerous, stashing
+// the live packet through a helper, caught with the Handle → observe chain.
+func TestRetainRegress(t *testing.T) {
+	analysistest.Run(t, "testdata", lint.Retaincheck, "retainregress")
+}
+
+// TestLaneRegress is the fault re-injection fixture for lanecheck: a
+// HandleSharded lane stealing work from the neighbouring conntrack shard and
+// bumping an engine-level counter without synchronization.
+func TestLaneRegress(t *testing.T) {
+	analysistest.Run(t, "testdata", lint.Lanecheck, "laneregress")
+}

@@ -1,0 +1,417 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"tspusim/internal/lint/analysis"
+)
+
+// Poolcheck is the pool-lifecycle lint for the repo's recycled-object
+// families: sim events and timers, tspu flowEntries, netem deliveries, and
+// the fleet's sync.Pool of Sims. Every one of them shares a failure mode —
+// a record is returned to its free list and then touched again, silently
+// reading or corrupting whatever the next allocation put there. The
+// generation counters catch some of this at runtime (and -tags=pooldebug
+// poisons records to catch more), but the static shape is checkable
+// directly:
+//
+//   - A release is a call named Put/Release/Recycle/Free (any case) whose
+//     single argument is a pointer-typed variable, or an append onto a
+//     free-list slice (a slice whose name contains "free"):
+//     sh.free = append(sh.free, e).
+//   - After the release, any mention of the variable in the same function is
+//     a diagnostic: reads, writes, re-releases (double release), captures by
+//     closures, goroutine arguments. Reassigning the variable re-arms it.
+//   - Releases on only some paths of a branch are not definite: the released
+//     set after an if/switch is the intersection over the branches that fall
+//     through (a branch ending in return/panic doesn't count). A release on
+//     every path followed by another release is a definite double release.
+//   - Loops are conservative: releases inside a loop body are not treated as
+//     definite after it (the body may not have run), but uses inside the
+//     loop of something released before it are still flagged.
+//
+// The analysis is a structural walk of each function body — no SSA — which
+// matches how the real pools are used: release-then-return, or copy the
+// fields out first and release last. Deliberate exceptions (tests proving
+// generation bumps, for instance) carry //tspuvet:allow poolcheck: <reason>.
+var Poolcheck = &analysis.Analyzer{
+	Name: "poolcheck",
+	Doc: "flag use-after-release, double release, and escaping references " +
+		"to pooled objects after Put/Release/Recycle/Free or a free-list append",
+	Run: runPoolcheck,
+}
+
+// poolReleaseNames are callee names that return their argument to a pool.
+var poolReleaseNames = map[string]bool{
+	"Put": true, "put": true,
+	"Release": true, "release": true,
+	"Recycle": true, "recycle": true,
+	"Free": true, "free": true,
+}
+
+func runPoolcheck(pass *analysis.Pass) (any, error) {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			w := &poolWalker{pass: pass}
+			w.block(fd.Body.List, map[types.Object]token.Pos{})
+			// Closure bodies get their own walk: a release inside a literal
+			// followed by a use inside the same literal is the same bug.
+			ast.Inspect(fd.Body, func(x ast.Node) bool {
+				if lit, ok := x.(*ast.FuncLit); ok {
+					w.block(lit.Body.List, map[types.Object]token.Pos{})
+				}
+				return true
+			})
+		}
+	}
+	return nil, nil
+}
+
+type poolWalker struct {
+	pass *analysis.Pass
+}
+
+// block walks statements sequentially, mutating rel (object -> release pos).
+func (w *poolWalker) block(stmts []ast.Stmt, rel map[types.Object]token.Pos) {
+	for _, s := range stmts {
+		w.stmt(s, rel)
+	}
+}
+
+func (w *poolWalker) stmt(s ast.Stmt, rel map[types.Object]token.Pos) {
+	switch s := s.(type) {
+	case *ast.BlockStmt:
+		w.block(s.List, rel)
+	case *ast.LabeledStmt:
+		w.stmt(s.Stmt, rel)
+	case *ast.IfStmt:
+		if s.Init != nil {
+			w.stmt(s.Init, rel)
+		}
+		w.checkUses(s.Cond, rel, nil)
+		then := copyRel(rel)
+		w.block(s.Body.List, then)
+		var paths []map[types.Object]token.Pos
+		if !terminates(s.Body) {
+			paths = append(paths, then)
+		}
+		if s.Else != nil {
+			els := copyRel(rel)
+			w.stmt(s.Else, els)
+			if !stmtTerminates(s.Else) {
+				paths = append(paths, els)
+			}
+		} else {
+			paths = append(paths, copyRel(rel)) // fall-through path
+		}
+		mergeRel(rel, paths)
+	case *ast.ForStmt:
+		if s.Init != nil {
+			w.stmt(s.Init, rel)
+		}
+		w.checkUses(s.Cond, rel, nil)
+		loop := copyRel(rel)
+		w.block(s.Body.List, loop)
+		if s.Post != nil {
+			w.stmt(s.Post, loop)
+		}
+	case *ast.RangeStmt:
+		w.checkUses(s.X, rel, nil)
+		loop := copyRel(rel)
+		w.block(s.Body.List, loop)
+	case *ast.SwitchStmt, *ast.TypeSwitchStmt, *ast.SelectStmt:
+		w.branches(s, rel)
+	case *ast.DeferStmt:
+		// Deferred calls run at function exit; ordering against later
+		// releases is out of scope for a structural walk.
+	default:
+		w.leaf(s, rel)
+	}
+}
+
+// branches handles switch/select: each clause runs on a copy; the released
+// set after is the intersection over falling-through clauses, and only when
+// the construct covers all paths (a default clause).
+func (w *poolWalker) branches(s ast.Stmt, rel map[types.Object]token.Pos) {
+	var body *ast.BlockStmt
+	hasDefault := false
+	switch s := s.(type) {
+	case *ast.SwitchStmt:
+		if s.Init != nil {
+			w.stmt(s.Init, rel)
+		}
+		w.checkUses(s.Tag, rel, nil)
+		body = s.Body
+	case *ast.TypeSwitchStmt:
+		if s.Init != nil {
+			w.stmt(s.Init, rel)
+		}
+		body = s.Body
+	case *ast.SelectStmt:
+		body = s.Body
+	}
+	var paths []map[types.Object]token.Pos
+	for _, clause := range body.List {
+		var stmts []ast.Stmt
+		switch cl := clause.(type) {
+		case *ast.CaseClause:
+			if cl.List == nil {
+				hasDefault = true
+			}
+			for _, e := range cl.List {
+				w.checkUses(e, rel, nil)
+			}
+			stmts = cl.Body
+		case *ast.CommClause:
+			if cl.Comm == nil {
+				hasDefault = true
+			} else {
+				w.stmt(cl.Comm, copyRel(rel))
+			}
+			stmts = cl.Body
+		}
+		cp := copyRel(rel)
+		w.block(stmts, cp)
+		if !blockTerminates(stmts) {
+			paths = append(paths, cp)
+		}
+	}
+	if !hasDefault {
+		paths = append(paths, copyRel(rel)) // the skipped-every-case path
+	}
+	mergeRel(rel, paths)
+}
+
+// leaf handles a straight-line statement: check every identifier against the
+// released set, apply reassignment clears, then record this statement's own
+// releases.
+func (w *poolWalker) leaf(s ast.Stmt, rel map[types.Object]token.Pos) {
+	rels := w.releasesOf(s)
+	if as, ok := s.(*ast.AssignStmt); ok {
+		// RHS uses are checked; a plain-ident LHS re-arms rather than uses
+		// (e = newEntry() after a release is the fix, not the bug). One
+		// reported set spans the statement so an object is flagged once.
+		reported := map[types.Object]bool{}
+		for _, rhs := range as.Rhs {
+			w.checkUsesWith(rhs, rel, rels, reported)
+		}
+		for _, lhs := range as.Lhs {
+			if id, ok := ast.Unparen(lhs).(*ast.Ident); ok {
+				if obj := w.pass.TypesInfo.ObjectOf(id); obj != nil {
+					delete(rel, obj) // re-armed with a fresh value
+				}
+				continue
+			}
+			w.checkUsesWith(lhs, rel, rels, reported)
+		}
+	} else {
+		w.checkUses(s, rel, rels)
+	}
+	for obj, pos := range rels {
+		rel[obj] = pos
+	}
+}
+
+// checkUses reports identifiers referring to already-released objects. rels
+// holds the current statement's own releases, to distinguish double release
+// from plain use-after-release.
+func (w *poolWalker) checkUses(n ast.Node, rel map[types.Object]token.Pos, rels map[types.Object]token.Pos) {
+	w.checkUsesWith(n, rel, rels, map[types.Object]bool{})
+}
+
+func (w *poolWalker) checkUsesWith(n ast.Node, rel, rels map[types.Object]token.Pos, reported map[types.Object]bool) {
+	if n == nil {
+		return
+	}
+	ast.Inspect(n, func(x ast.Node) bool {
+		id, ok := x.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		obj := w.pass.TypesInfo.Uses[id]
+		if obj == nil {
+			return true
+		}
+		relPos, released := rel[obj]
+		if !released || reported[obj] {
+			return true
+		}
+		reported[obj] = true
+		line := w.pass.Fset.Position(relPos).Line
+		if _, again := rels[obj]; again {
+			w.pass.Reportf(id.Pos(), "%s released twice (first released at line %d): "+
+				"double release corrupts the free list; fix the paths or justify with //tspuvet:allow poolcheck: <reason>",
+				obj.Name(), line)
+		} else {
+			w.pass.Reportf(id.Pos(), "%s used after release (released at line %d): "+
+				"the pooled record may already be reused; copy what you need before releasing, "+
+				"or justify with //tspuvet:allow poolcheck: <reason>", obj.Name(), line)
+		}
+		return true
+	})
+}
+
+// releasesOf extracts the objects a straight-line statement returns to a
+// pool.
+func (w *poolWalker) releasesOf(s ast.Stmt) map[types.Object]token.Pos {
+	rels := map[types.Object]token.Pos{}
+	switch s := s.(type) {
+	case *ast.ExprStmt:
+		if call, ok := s.X.(*ast.CallExpr); ok {
+			w.releaseCall(call, rels)
+		}
+	case *ast.AssignStmt:
+		for _, rhs := range s.Rhs {
+			if call, ok := ast.Unparen(rhs).(*ast.CallExpr); ok {
+				w.freeListAppend(call, rels)
+			}
+		}
+	}
+	return rels
+}
+
+// releaseCall matches pool.Put(x) / sh.release(e) / recycle(ev): a call
+// named like a release whose single argument is a pointer-typed variable.
+func (w *poolWalker) releaseCall(call *ast.CallExpr, rels map[types.Object]token.Pos) {
+	name := ""
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		name = fun.Name
+	case *ast.SelectorExpr:
+		name = fun.Sel.Name
+	}
+	if !poolReleaseNames[name] || len(call.Args) != 1 {
+		return
+	}
+	w.addPointerArg(call.Args[0], rels)
+}
+
+// freeListAppend matches sh.free = append(sh.free, e): an append whose
+// destination slice is named like a free list.
+func (w *poolWalker) freeListAppend(call *ast.CallExpr, rels map[types.Object]token.Pos) {
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok || id.Name != "append" {
+		return
+	}
+	if _, isBuiltin := w.pass.TypesInfo.ObjectOf(id).(*types.Builtin); !isBuiltin {
+		return
+	}
+	if len(call.Args) < 2 || call.Ellipsis.IsValid() {
+		return
+	}
+	dst := ""
+	switch base := ast.Unparen(call.Args[0]).(type) {
+	case *ast.Ident:
+		dst = base.Name
+	case *ast.SelectorExpr:
+		dst = base.Sel.Name
+	}
+	if !strings.Contains(strings.ToLower(dst), "free") {
+		return
+	}
+	for _, a := range call.Args[1:] {
+		w.addPointerArg(a, rels)
+	}
+}
+
+// addPointerArg records a plain pointer-typed identifier argument.
+func (w *poolWalker) addPointerArg(arg ast.Expr, rels map[types.Object]token.Pos) {
+	id, ok := ast.Unparen(arg).(*ast.Ident)
+	if !ok {
+		return
+	}
+	obj := w.pass.TypesInfo.Uses[id]
+	if obj == nil {
+		return
+	}
+	if _, isPtr := obj.Type().Underlying().(*types.Pointer); !isPtr {
+		return
+	}
+	rels[obj] = id.Pos()
+}
+
+func copyRel(rel map[types.Object]token.Pos) map[types.Object]token.Pos {
+	cp := make(map[types.Object]token.Pos, len(rel))
+	for k, v := range rel {
+		cp[k] = v
+	}
+	return cp
+}
+
+// mergeRel replaces rel with the intersection of the given path states: a
+// release is definite only when every falling-through path performed it.
+func mergeRel(rel map[types.Object]token.Pos, paths []map[types.Object]token.Pos) {
+	if len(paths) == 0 {
+		return // no path falls through; code after is unreachable
+	}
+	merged := map[types.Object]token.Pos{}
+	for obj, pos := range paths[0] {
+		inAll := true
+		for _, p := range paths[1:] {
+			if _, ok := p[obj]; !ok {
+				inAll = false
+				break
+			}
+		}
+		if inAll {
+			merged[obj] = pos
+		}
+	}
+	for obj := range rel {
+		if _, ok := merged[obj]; !ok {
+			delete(rel, obj)
+		}
+	}
+	for obj, pos := range merged {
+		rel[obj] = pos
+	}
+}
+
+// terminates reports whether a block's fall-through edge is dead.
+func terminates(b *ast.BlockStmt) bool {
+	if b == nil {
+		return false
+	}
+	return blockTerminates(b.List)
+}
+
+func blockTerminates(stmts []ast.Stmt) bool {
+	if len(stmts) == 0 {
+		return false
+	}
+	return stmtTerminates(stmts[len(stmts)-1])
+}
+
+// stmtTerminates reports whether control cannot fall out of s: returns,
+// panics, and bare branch statements (which transfer control elsewhere, so
+// their releases never reach the statement after the construct).
+func stmtTerminates(s ast.Stmt) bool {
+	switch s := s.(type) {
+	case *ast.ReturnStmt, *ast.BranchStmt:
+		return true
+	case *ast.BlockStmt:
+		return terminates(s)
+	case *ast.ExprStmt:
+		if call, ok := s.X.(*ast.CallExpr); ok {
+			if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok && id.Name == "panic" {
+				return true
+			}
+		}
+	case *ast.IfStmt:
+		if !terminates(s.Body) {
+			return false
+		}
+		if s.Else == nil {
+			return false
+		}
+		return stmtTerminates(s.Else)
+	}
+	return false
+}

@@ -92,6 +92,43 @@ func TestSuppressWrongAnalyzerDoesNotApply(t *testing.T) {
 	}
 }
 
+const retainsSrc = `package p
+
+func a() {
+	_ = 1 //tspuvet:retains trailing retention for this line
+	//tspuvet:retains standalone retention for the next line
+	_ = 2
+	//tspuvet:retains this one suppresses nothing and must be flagged
+	_ = 3
+}
+`
+
+// //tspuvet:retains is sugar for a retaincheck suppression: same placement
+// rules, same unused-directive rot, but it must not silence other analyzers.
+func TestSuppressRetainsDirective(t *testing.T) {
+	fset, f := parseSrc(t, retainsSrc)
+	ran := map[string]bool{"retaincheck": true, "lanecheck": true}
+	diags := []analysis.Diagnostic{
+		{Pos: linePos(fset, f, 4), Category: "retaincheck", Message: "stored past the call"},
+		{Pos: linePos(fset, f, 4), Category: "lanecheck", Message: "not covered by a retains directive"},
+		{Pos: linePos(fset, f, 6), Category: "retaincheck", Message: "stored past the call"},
+	}
+	kept := Suppress(fset, []*ast.File{f}, diags, ran)
+	if len(kept) != 2 {
+		var msgs []string
+		for _, d := range kept {
+			msgs = append(msgs, d.Category+": "+d.Message)
+		}
+		t.Fatalf("Suppress kept %d diagnostics, want 2 (the lanecheck one + the unused retains directive): %v", len(kept), msgs)
+	}
+	if kept[0].Category != "lanecheck" {
+		t.Errorf("kept[0].Category = %q, want lanecheck: a retains directive must only suppress retaincheck", kept[0].Category)
+	}
+	if kept[1].Category != "allowdirective" || !strings.Contains(kept[1].Message, "unused //tspuvet:retains") {
+		t.Errorf("kept[1] = %s: %s, want the unused //tspuvet:retains diagnostic", kept[1].Category, kept[1].Message)
+	}
+}
+
 // Allowdirective diagnostics themselves are unsuppressible by construction.
 func TestSuppressCannotSilenceAllowdirective(t *testing.T) {
 	fset, f := parseSrc(t, suppressSrc)

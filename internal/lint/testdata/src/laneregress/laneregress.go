@@ -1,0 +1,54 @@
+// Package laneregress is the fault re-injection fixture for lanecheck,
+// distilled from the engine shape PR 6 sharded: HandleSharded works one
+// conntrack shard per worker lane, and correctness rests on no lane ever
+// touching a sibling's shard. The seeded bug is a work-stealing read of the
+// neighbouring shard plus an unsynchronized engine-level counter bump.
+package laneregress
+
+// flowEntry is one pooled conntrack record.
+//
+//tspuvet:laneowned
+type flowEntry struct {
+	gen   uint64
+	state int32
+}
+
+// ctShard is one lane's conntrack shard.
+//
+//tspuvet:laneowned
+type ctShard struct {
+	table map[uint64]*flowEntry
+	free  []*flowEntry
+}
+
+// device is the shared TSPU device: shards is the lane-sharded container.
+type device struct {
+	shards []ctShard
+	drops  uint64
+}
+
+// HandleSharded is the per-lane entry point shape from internal/tspu.
+//
+//tspuvet:lane
+func (d *device) HandleSharded(shard int) {
+	own := &d.shards[shard]
+	own.table[7] = nil // own shard: fine
+
+	steal := &d.shards[(shard+1)%len(d.shards)] // want `cross-lane access: d\.shards is indexed with expr, not the lane parameter`
+	_ = steal
+
+	d.drops++ // want `lane-reachable code writes shared state through d\.drops`
+}
+
+// HandleFixed is the corrected shape: stats stay in the shard, and only the
+// lane's own shard is touched.
+//
+//tspuvet:lane
+func (d *device) HandleFixed(shard int) {
+	own := &d.shards[shard]
+	own.table[7] = nil
+	if len(own.free) > 0 {
+		e := own.free[len(own.free)-1]
+		e.state = 1
+	}
+}

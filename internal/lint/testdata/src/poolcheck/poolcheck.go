@@ -1,0 +1,145 @@
+// Package poolcheck exercises the pool-lifecycle lint: after a record is
+// returned to its pool — a Put/Release/Recycle/Free call or an append onto a
+// free-list slice — touching it again in the same function is a diagnostic,
+// unless the variable is first re-armed with a fresh value.
+package poolcheck
+
+// entry is one pooled record.
+type entry struct {
+	gen   uint64
+	key   uint64
+	state int32
+}
+
+// shardT owns a free list and a table of live entries.
+type shardT struct {
+	free  []*entry
+	table map[uint64]*entry
+}
+
+// release is the canonical release point: scrub, then push onto the free
+// list. Nothing touches e afterwards, so the function itself is clean.
+func (s *shardT) release(e *entry) {
+	*e = entry{}
+	s.free = append(s.free, e)
+}
+
+// pool is a sync.Pool-shaped type.
+type pool struct{}
+
+func (p *pool) Put(x *entry) {}
+func (p *pool) Get() *entry  { return &entry{} }
+func newEntry() *entry       { return &entry{} }
+
+// useAfter reads a field after the record went back to the pool.
+func (s *shardT) useAfter(e *entry) uint64 {
+	s.release(e)
+	return e.gen // want `e used after release \(released at line \d+\)`
+}
+
+// copyFirst is the correct shape: copy what you need, release last.
+func (s *shardT) copyFirst(e *entry) uint64 {
+	g := e.gen
+	s.release(e)
+	return g
+}
+
+// writeAfter scribbles on a released record.
+func (s *shardT) writeAfter(e *entry) {
+	s.release(e)
+	e.state = 0 // want `e used after release`
+}
+
+// freeListAppend releases via the free-list idiom rather than a named call.
+func (s *shardT) freeListAppend(e *entry) {
+	e.gen++
+	s.free = append(s.free, e)
+	e.state = 0 // want `e used after release`
+}
+
+// viaPut releases through a sync.Pool and then re-inserts the dead record.
+func viaPut(p *pool, s *shardT, e *entry) {
+	p.Put(e)
+	s.table[e.key] = e // want `e used after release`
+}
+
+// doubleRelease frees on every path of the branch, then frees again.
+func (s *shardT) doubleRelease(e *entry, cond bool) {
+	if cond {
+		s.release(e)
+	} else {
+		s.release(e)
+	}
+	s.release(e) // want `e released twice \(first released at line \d+\)`
+}
+
+// switchRelease shows the definite-release merge across a switch with a
+// default clause.
+func (s *shardT) switchRelease(e *entry, k int) {
+	switch k {
+	case 0:
+		s.release(e)
+	default:
+		s.release(e)
+	}
+	_ = e.gen // want `e used after release`
+}
+
+// maybeRelease frees on a path that returns: the fall-through never saw the
+// release, so the later read is fine.
+func (s *shardT) maybeRelease(e *entry, cond bool) uint64 {
+	if cond {
+		s.release(e)
+		return 0
+	}
+	return e.gen
+}
+
+// partialRelease frees on only one falling-through path: not definite, so
+// the later read is (conservatively) not flagged.
+func (s *shardT) partialRelease(e *entry, cond bool) uint64 {
+	if cond {
+		s.release(e)
+	}
+	return e.gen
+}
+
+// rearm rebinds the variable to a fresh record after releasing: the old
+// record is gone, the name is live again.
+func (s *shardT) rearm(e *entry) *entry {
+	s.release(e)
+	e = newEntry()
+	return e
+}
+
+// capture lets a closure smuggle the released record out of the block.
+func (s *shardT) capture(e *entry, schedule func(func())) {
+	s.release(e)
+	schedule(func() { _ = e.gen }) // want `e used after release`
+}
+
+// loopScoped releases per-iteration variables: each dies with its iteration.
+func (s *shardT) loopScoped(es []*entry) int {
+	for _, e := range es {
+		s.release(e)
+	}
+	return len(es)
+}
+
+// loopUse reads a record released before the loop from inside it: the body
+// inherits the released set.
+func (s *shardT) loopUse(es []*entry, e *entry) {
+	s.release(e)
+	for range es {
+		_ = e.gen // want `e used after release`
+	}
+}
+
+// genProbe is the deliberate exception shape: a test reading the generation
+// counter after release to prove the bump, justified where it happens.
+func (s *shardT) genProbe(e *entry) uint64 {
+	g := e.gen
+	s.release(e)
+	//tspuvet:allow poolcheck: generation-bump probe; the pool is not drained concurrently in this test
+	return e.gen - g // want `e used after release`
+}

@@ -1,0 +1,189 @@
+// Package retaincheck exercises the packet-retention taint analysis: every
+// function with a packet parameter is a taint root, and tainted values must
+// not reach stores that outlive the call unless laundered through a
+// clone/marshal or annotated //tspuvet:retains.
+package retaincheck
+
+import (
+	"time"
+
+	"tspusim/internal/packet"
+	"tspusim/internal/sim"
+)
+
+// mb is a middlebox-shaped device with places to stash packets.
+type mb struct {
+	last   *packet.Packet
+	ring   []*packet.Packet
+	byFlow map[uint64]*packet.Packet
+	chunks [][]byte
+	sniBuf []byte
+	host   string
+	recs   []record
+	ch     chan *packet.Packet
+	clock  *sim.Sim
+}
+
+// record is a by-value container a packet pointer can hide in.
+type record struct {
+	pkt *packet.Packet
+	ttl uint8
+}
+
+// lastSeen is a package variable: storing a live packet there outlives
+// every call.
+var lastSeen *packet.Packet
+
+// stashField keeps the live pointer in device state.
+func (m *mb) stashField(pkt *packet.Packet) {
+	m.last = pkt // want `packet-aliasing value stored in field m\.last, which outlives the call`
+}
+
+// stashClone copies first: the ring owns fresh memory.
+func (m *mb) stashClone(pkt *packet.Packet) {
+	m.last = pkt.Clone()
+}
+
+// stashAppend buffers the live pointer in a slice field.
+func (m *mb) stashAppend(pkt *packet.Packet) {
+	m.ring = append(m.ring, pkt) // want `packet-aliasing value stored in field m\.ring`
+}
+
+// stashMap retains through a map element.
+func (m *mb) stashMap(pkt *packet.Packet, key uint64) {
+	m.byFlow[key] = pkt // want `packet-aliasing value stored in element of m\.byFlow`
+}
+
+// stashSNI keeps a payload subslice: it aliases the packet's bytes just as
+// much as the packet pointer does.
+func (m *mb) stashSNI(pkt *packet.Packet) {
+	sni := pkt.TCP.Payload[2:10]
+	m.sniBuf = sni // want `packet-aliasing value stored in field m\.sniBuf`
+}
+
+// stashChunk appends the subslice itself rather than its bytes.
+func (m *mb) stashChunk(pkt *packet.Packet) {
+	m.chunks = append(m.chunks, pkt.TCP.Payload) // want `packet-aliasing value stored in field m\.chunks`
+}
+
+// spreadCopy launders: append(dst, b...) of bytes copies the elements out.
+func (m *mb) spreadCopy(pkt *packet.Packet) {
+	m.sniBuf = append(m.sniBuf[:0], pkt.TCP.Payload...)
+}
+
+// recordHost launders through a string conversion, which copies.
+func (m *mb) recordHost(pkt *packet.Packet) {
+	m.host = string(pkt.TCP.Payload)
+}
+
+// marshalled launders through Marshal, which serializes into fresh bytes.
+func (m *mb) marshalled(pkt *packet.Packet) {
+	b, _ := pkt.Marshal()
+	m.sniBuf = b
+}
+
+// viaAccessor shows a cross-package accessor result staying tainted: the
+// payload view aliases the packet even though no field was touched directly.
+func (m *mb) viaAccessor(pkt *packet.Packet) {
+	b := pkt.AppPayload()
+	m.sniBuf = b // want `packet-aliasing value stored in field m\.sniBuf`
+}
+
+// viaLocal hides the pointer in a by-value local first; the escape happens
+// when the container itself is stored.
+func (m *mb) viaLocal(pkt *packet.Packet) {
+	var rec record
+	rec.pkt = pkt
+	rec.ttl = pkt.IP.TTL
+	m.recs = append(m.recs, rec) // want `packet-aliasing value stored in field m\.recs`
+}
+
+// frameLocal builds a scratch record behind a pointer that never leaves the
+// frame: the pointee dies with the call, so the store is fine.
+func frameLocal(pkt *packet.Packet) uint8 {
+	tmp := &record{}
+	tmp.pkt = pkt
+	return tmp.pkt.IP.TTL
+}
+
+// keyOnly derives a value type from the packet: flow keys carry no
+// references, so nothing taints.
+func (m *mb) keyOnly(pkt *packet.Packet) {
+	k := packet.FlowKey4Of(pkt)
+	m.byFlow[k.PairHash()] = nil
+}
+
+// mutate rewrites the packet in place: the holder owns the packet, so
+// storing into it is not retention.
+func mutate(pkt *packet.Packet) {
+	pkt.TCP.Payload = pkt.TCP.Payload[:0]
+	pkt.IP.TTL--
+}
+
+// track stores into a package variable.
+func track(pkt *packet.Packet) {
+	lastSeen = pkt // want `packet-aliasing value stored in package variable lastSeen`
+}
+
+// sendChan hands the live pointer to whoever drains the channel.
+func (m *mb) sendChan(pkt *packet.Packet) {
+	m.ch <- pkt // want `packet-aliasing value sent on a channel`
+}
+
+// spawn hands the live pointer to a goroutine.
+func spawn(pkt *packet.Packet) {
+	go consume(pkt) // want `packet-aliasing value handed to a goroutine`
+}
+
+// consume is the goroutine body; as a packet root itself it is analyzed and
+// clean.
+func consume(pkt *packet.Packet) {
+	_ = pkt.IP.TTL
+}
+
+// afterClosure schedules a closure over the live packet on the virtual
+// clock: the Sim.After shape. The closure outlives the call.
+func (m *mb) afterClosure(pkt *packet.Packet) {
+	m.clock.After(time.Millisecond, func() { // want `closure captures packet-aliasing "pkt" and escapes`
+		_ = pkt.IP.TTL
+	})
+}
+
+// inlineClosure is invoked where it appears: it runs within the call's
+// lifetime, so the capture is fine (the store inside is still checked).
+func inlineClosure(pkt *packet.Packet) uint8 {
+	ttl := func() uint8 { return pkt.IP.TTL }()
+	return ttl
+}
+
+// entry passes the payload to a helper with no packet parameter of its own:
+// the store inside the helper is reported with the call chain.
+func (m *mb) entry(pkt *packet.Packet) {
+	m.keep(pkt.TCP.Payload)
+}
+
+// keep is only dangerous when handed tainted bytes.
+func (m *mb) keep(b []byte) {
+	m.sniBuf = b // want `packet-aliasing value stored in field m\.sniBuf, which outlives the call \(reached via mb\.entry → mb\.keep\)`
+}
+
+// head returns a payload alias; the taint follows the return value into the
+// caller's store.
+func head(pkt *packet.Packet) []byte {
+	return pkt.TCP.Payload[:4]
+}
+
+func (m *mb) viaReturn(pkt *packet.Packet) {
+	m.sniBuf = head(pkt) // want `packet-aliasing value stored in field m\.sniBuf`
+}
+
+// delivery mirrors netem's pooled in-flight record: retention is the whole
+// point, and the directive says who owns the copy and when it is dropped.
+type delivery struct {
+	pkt *packet.Packet
+}
+
+func (m *mb) schedule(pkt *packet.Packet, d *delivery) {
+	//tspuvet:retains in-flight delivery record; cleared when the timer fires
+	d.pkt = pkt // want `packet-aliasing value stored in field d\.pkt`
+}

@@ -1,0 +1,40 @@
+// Package retainregress is the fault re-injection fixture for retaincheck,
+// distilled from the shape PR 6's ownership handoff made dangerous: with
+// per-hop cloning gone, one live *packet.Packet traverses every link, and a
+// capture middlebox that stashes it (directly or through a helper) aliases
+// every downstream hop. The seeded bug is exactly that — Handle hands the
+// live packet to an observe helper that keeps it.
+package retainregress
+
+import "tspusim/internal/packet"
+
+// Dir mirrors netem's direction enum.
+type Dir int
+
+// capture mirrors netem/capture.go before it was annotated: a ring of
+// recent packets kept for the conformance comparator.
+type capture struct {
+	ring []*packet.Packet
+	last *packet.Packet
+}
+
+// Handle is the netem.Middlebox entry-point shape: it owns pkt only for the
+// duration of the call.
+func (c *capture) Handle(pkt *packet.Packet, dir Dir) bool {
+	c.observe(pkt)
+	return true
+}
+
+// observe stashes the live pointer: the regression under test. Handle is
+// declared first, so the diagnostics carry the Handle → observe chain.
+func (c *capture) observe(pkt *packet.Packet) {
+	c.last = pkt                 // want `packet-aliasing value stored in field c\.last, which outlives the call \(reached via capture\.Handle → capture\.observe\)`
+	c.ring = append(c.ring, pkt) // want `packet-aliasing value stored in field c\.ring`
+}
+
+// observeCloned is the fix: the ring owns deep copies, so downstream hops
+// can mutate or recycle the original freely.
+func (c *capture) observeCloned(pkt *packet.Packet) {
+	c.last = pkt.Clone()
+	c.ring = append(c.ring, pkt.Clone())
+}

@@ -1,0 +1,52 @@
+// Package packet is a fixture stub of the real tspusim/internal/packet: the
+// retaincheck analyzer recognizes taint roots by the type name Packet in a
+// package named packet, and launders taint through Clone/Marshal-shaped
+// calls, so the stub only needs matching shapes.
+package packet
+
+// TCP is the transport header; Payload aliases wire bytes.
+type TCP struct {
+	Payload []byte
+	Flags   uint8
+}
+
+// IPv4 is the network header (scalars only: no references).
+type IPv4 struct {
+	TTL      uint8
+	Protocol uint8
+}
+
+// Packet is one in-flight packet.
+type Packet struct {
+	IP  IPv4
+	TCP *TCP
+}
+
+// Clone deep-copies the packet: the result aliases nothing.
+func (p *Packet) Clone() *Packet {
+	q := &Packet{IP: p.IP}
+	if p.TCP != nil {
+		q.TCP = &TCP{Payload: append([]byte(nil), p.TCP.Payload...), Flags: p.TCP.Flags}
+	}
+	return q
+}
+
+// Marshal serializes into fresh bytes.
+func (p *Packet) Marshal() ([]byte, error) { return append([]byte(nil), p.TCP.Payload...), nil }
+
+// AppPayload returns the transport payload, aliasing the packet.
+func (p *Packet) AppPayload() []byte {
+	if p.TCP == nil {
+		return nil
+	}
+	return p.TCP.Payload
+}
+
+// FlowKey4 is the compact flow key: two words, no references.
+type FlowKey4 struct{ Hi, Lo uint64 }
+
+// FlowKey4Of keys a packet.
+func FlowKey4Of(p *Packet) FlowKey4 { return FlowKey4{} }
+
+// PairHash folds the key to a host-pair hash.
+func (k FlowKey4) PairHash() uint64 { return k.Hi ^ k.Lo }

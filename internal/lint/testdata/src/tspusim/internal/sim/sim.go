@@ -1,0 +1,30 @@
+// Package sim is a fixture stub of the real tspusim/internal/sim: lanecheck
+// recognizes shared RNG draws by the type name Rand in a package named sim,
+// and retaincheck's closure rule needs an After-shaped scheduler.
+package sim
+
+import "time"
+
+// Rand is a seeded deterministic stream.
+type Rand struct{ state uint64 }
+
+// Bool draws one biased bit.
+func (r *Rand) Bool(p float64) bool {
+	r.state = r.state*6364136223846793005 + 1442695040888963407
+	return float64(r.state>>11)/(1<<53) < p
+}
+
+// Uint64 draws one word.
+func (r *Rand) Uint64() uint64 {
+	r.state = r.state*6364136223846793005 + 1442695040888963407
+	return r.state
+}
+
+// Sim is the virtual clock.
+type Sim struct{ now time.Duration }
+
+// Now returns virtual time.
+func (s *Sim) Now() time.Duration { return s.now }
+
+// After schedules fn on the virtual clock.
+func (s *Sim) After(d time.Duration, fn func()) {}

@@ -46,11 +46,19 @@ const (
 
 // Middlebox is an in-path device attached to a link. Handle is called for
 // every packet crossing the link in either direction; the device may mutate
-// pkt in place (ownership is sequential: the same instance traverses every
-// link on the path, and whoever holds it at the moment owns it), return a
-// verdict, and inject packets through the pipe now or later. A middlebox
-// that keeps a packet past its Handle return MUST clone it — routers forward
-// in place, so a retained pointer would alias downstream hops.
+// pkt in place, return a verdict, and inject packets through the pipe now or
+// later.
+//
+// Retention contract (the canonical statement — everything else refers here):
+// ownership of a packet is sequential. The same *packet.Packet instance
+// traverses every link on the path; whoever holds it at the moment owns it,
+// and routers forward it in place rather than copying per hop. A middlebox
+// that keeps the packet — or anything aliasing its payload — past its Handle
+// return MUST deep-copy first (Clone/CloneInto/Marshal), because the original
+// is mutated and re-sent by downstream hops the moment Handle returns. The
+// retaincheck analyzer in tspu-vet enforces this mechanically: any store of a
+// packet-aliasing value that outlives Handle is a diagnostic unless the line
+// carries a //tspuvet:retains annotation explaining who owns the copy.
 type Middlebox interface {
 	Name() string
 	Handle(pipe Pipe, pkt *packet.Packet, dir Direction) Action
@@ -159,6 +167,7 @@ func (l *Link) process(pkt *packet.Packet, dir Direction, idx int) {
 		dst = l.a
 	}
 	dv := l.net.newDelivery()
+	//tspuvet:retains pooled in-flight delivery owns the packet until the propagation timer fires; run clears it before recycling
 	dv.link, dv.pkt, dv.dir, dv.dst = l, pkt, dir, dst
 	l.net.Sim.After(l.delay, dv.run)
 }

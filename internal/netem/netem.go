@@ -243,12 +243,9 @@ func (nd *Node) deliver(in *Iface, pkt *packet.Packet) {
 	if out == nil || out.link == nil {
 		return
 	}
-	// Forward in place: ownership of a packet is sequential along its path.
-	// Send cloned at origination, captures clone what they record, and every
-	// middlebox that buffers past its Handle return clones first — so by the
-	// time a router forwards, nothing else holds the pointer. Cloning per hop
-	// here dominated whole-lab allocation profiles (multi-hop topologies copy
-	// every payload once per router).
+	// Forward in place, per the Middlebox retention contract (link.go):
+	// nothing upstream holds the pointer, and cloning per hop dominated
+	// whole-lab allocation profiles.
 	pkt.IP.TTL--
 	out.link.transmit(out, pkt)
 }

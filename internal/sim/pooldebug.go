@@ -1,0 +1,33 @@
+//go:build pooldebug
+
+package sim
+
+import "time"
+
+// Event-pool poisoning (-tags=pooldebug), the sim half of the tspu package's
+// pooled-record debugging: a recycled event gets a trap function and a
+// sentinel timestamp, so a stale reference that fires or re-queues it panics
+// instead of silently running — or cancelling — whoever reused the struct.
+// The normal build compiles these hooks to no-ops (pooldebug_off.go).
+
+// poisonedWhen marks a recycled event; no legitimate event is ever scheduled
+// at a negative time (At panics on past times, and now never goes negative).
+const poisonedWhen = time.Duration(-0xDD)
+
+func poisonEvent(ev *event) {
+	ev.when = poisonedWhen
+	ev.fn = func() { panic("sim: pooled event fired after recycle (pooldebug)") }
+}
+
+func unpoisonEvent(ev *event) {
+	ev.when = 0
+	ev.fn = nil
+}
+
+// checkEventLive panics when an already-recycled event is recycled again or
+// pushed back on the queue.
+func checkEventLive(ev *event, op string) {
+	if ev.when == poisonedWhen {
+		panic("sim: pooled event " + op + " after recycle (pooldebug)")
+	}
+}

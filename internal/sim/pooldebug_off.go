@@ -1,0 +1,9 @@
+//go:build !pooldebug
+
+package sim
+
+// No-op counterparts of the pooldebug hooks (pooldebug.go).
+
+func poisonEvent(*event)            {}
+func unpoisonEvent(*event)          {}
+func checkEventLive(*event, string) {}

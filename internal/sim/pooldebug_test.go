@@ -1,0 +1,49 @@
+//go:build pooldebug
+
+package sim
+
+import "testing"
+
+func mustPanicSim(t *testing.T, what string, fn func()) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("%s did not panic under -tags=pooldebug", what)
+		}
+	}()
+	fn()
+}
+
+// TestEventUseAfterRecyclePanics proves a recycled event's trap function
+// fires: a stale queue reference that executes the event panics instead of
+// silently running whoever reused the struct.
+func TestEventUseAfterRecyclePanics(t *testing.T) {
+	s := New()
+	ev := s.alloc()
+	s.recycle(ev)
+	mustPanicSim(t, "firing a recycled event", func() { ev.fn() })
+}
+
+func TestEventDoubleRecyclePanics(t *testing.T) {
+	s := New()
+	ev := s.alloc()
+	s.recycle(ev)
+	mustPanicSim(t, "second recycle of the same event", func() { s.recycle(ev) })
+}
+
+// TestEventReuseUnpoisons proves normal scheduling over a recycled event
+// stays panic-free.
+func TestEventReuseUnpoisons(t *testing.T) {
+	s := New()
+	fired := 0
+	s.After(1, func() { fired++ })
+	s.Run()
+	s.After(1, func() { fired++ }) // reuses the pooled event
+	s.Run()
+	if fired != 2 {
+		t.Fatalf("fired = %d, want 2", fired)
+	}
+	if s.PoolReuses() == 0 {
+		t.Fatalf("expected the second event to come from the pool")
+	}
+}

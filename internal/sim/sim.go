@@ -65,6 +65,7 @@ func (s *Sim) alloc() *event {
 		ev := s.free[n-1]
 		s.free[n-1] = nil
 		s.free = s.free[:n-1]
+		unpoisonEvent(ev)
 		s.poolReuses++
 		return ev
 	}
@@ -75,9 +76,11 @@ func (s *Sim) alloc() *event {
 // every outstanding Timer handle to it, so a stale Stop or Reset on a reused
 // event is a no-op rather than a cancellation of someone else's event.
 func (s *Sim) recycle(ev *event) {
+	checkEventLive(ev, "recycled")
 	ev.fn = nil
 	ev.cancelled = false
 	ev.gen++
+	poisonEvent(ev)
 	s.free = append(s.free, ev)
 }
 

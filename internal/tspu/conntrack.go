@@ -104,6 +104,8 @@ func (t StateTimeouts) forBlock(b BlockType) time.Duration {
 
 // blockState is an active blocking decision on one flow. It is embedded by
 // value in the flowEntry so installing a block never allocates.
+//
+//tspuvet:laneowned
 type blockState struct {
 	typ   BlockType
 	until time.Duration
@@ -117,6 +119,8 @@ type blockState struct {
 // flowEntry is one conntrack record. Entries are pooled per-shard: a deleted
 // entry's memory is reused by the next flow instead of going to the garbage
 // collector, so flow churn does not allocate in steady state.
+//
+//tspuvet:laneowned
 type flowEntry struct {
 	key     packet.FlowKey4 // canonical compact 5-tuple
 	origin  Origin
@@ -160,6 +164,8 @@ func (e *flowEntry) setImmune(t BlockType)     { e.immune |= 1 << uint(t) }
 // engine can hand each worker a disjoint set of shards and run them with no
 // lock — the decentralized-deployment analogue of the paper's observation
 // that TSPU state is per-box, not network-global.
+//
+//tspuvet:laneowned
 type ctShard struct {
 	table    map[packet.FlowKey4]*flowEntry
 	timeouts StateTimeouts
@@ -224,9 +230,11 @@ func (ct *conntrack) numShards() int { return len(ct.shards) }
 // collectible, and the bumped generation kills any wheel reference still
 // pointing here.
 func (sh *ctShard) release(e *flowEntry) {
+	e.checkLive("released")
 	g := e.gen
 	*e = flowEntry{}
 	e.gen = g + 1
+	poisonEntry(e)
 	sh.free = append(sh.free, e)
 }
 
@@ -235,6 +243,7 @@ func (sh *ctShard) allocEntry() *flowEntry {
 		e := sh.free[n-1]
 		sh.free[n-1] = nil
 		sh.free = sh.free[:n-1]
+		unpoisonEntry(e)
 		sh.poolReuses++
 		return e
 	}
@@ -248,6 +257,7 @@ func (sh *ctShard) lookup(key packet.FlowKey4, now time.Duration) *flowEntry {
 	if !ok {
 		return nil
 	}
+	e.checkLive("found in table")
 	if now >= e.expires {
 		delete(sh.table, key)
 		sh.evictions++
@@ -393,6 +403,7 @@ func (ct *conntrack) setBlock(e *flowEntry, typ BlockType, now time.Duration, al
 
 // activeBlock returns the entry's blocking state if it has not expired.
 func (e *flowEntry) activeBlock(now time.Duration) *blockState {
+	e.checkLive("read")
 	if !e.hasBlock || now >= e.block.until {
 		return nil
 	}

@@ -86,6 +86,8 @@ const numBlockTypes = int(IPBlock) + 1
 // laneStats holds one lane's counters as flat words — no maps — so the
 // concurrent batch path increments them without synchronization or
 // allocation. Stats() folds all lanes into the public map form.
+//
+//tspuvet:laneowned
 type laneStats struct {
 	handled     int
 	dropped     int
@@ -101,6 +103,8 @@ type laneStats struct {
 // packets whose canonical host pair hashes to conntrack shard i, so two
 // engine workers driving different lanes of one device never touch the same
 // memory.
+//
+//tspuvet:laneowned
 type devLane struct {
 	stats laneStats
 	frags *fragEngine
@@ -270,6 +274,7 @@ func (d *Device) Handle(pipe netem.Pipe, pkt *packet.Packet, dir netem.Direction
 // caller owns that lane for the duration of the call.
 //
 //tspuvet:hotpath
+//tspuvet:lane
 func (d *Device) HandleSharded(pipe netem.Pipe, pkt *packet.Packet, dir netem.Direction, key packet.FlowKey4, lane int) netem.Action {
 	return d.handleLane(pipe, pkt, dir, key, lane)
 }
@@ -401,6 +406,7 @@ func (d *Device) failRoll(e *flowEntry, t BlockType, ln *devLane) bool {
 	if d.cfg.PerFlowRand {
 		miss = float64(d.flowRand(e)>>11)/(1<<53) < rate
 	} else {
+		//tspuvet:allow lanecheck: the shared-stream branch runs only with PerFlowRand off, and the batch engine requires PerFlowRand devices (engine doc); single-threaded Handle is the only caller here
 		miss = d.rng.Bool(rate)
 	}
 	if miss {
@@ -415,6 +421,7 @@ func (d *Device) sni2Allowance(e *flowEntry) int {
 		span := uint64(d.cfg.SNI2AllowanceMax - d.cfg.SNI2AllowanceMin + 1)
 		return d.cfg.SNI2AllowanceMin + int(d.flowRand(e)%span)
 	}
+	//tspuvet:allow lanecheck: the shared-stream branch runs only with PerFlowRand off, and the batch engine requires PerFlowRand devices (engine doc); single-threaded Handle is the only caller here
 	return d.rng.IntRange(d.cfg.SNI2AllowanceMin, d.cfg.SNI2AllowanceMax)
 }
 

@@ -21,6 +21,8 @@ import (
 //     unusual limit is the fingerprint of §7.2 (Linux uses 64, Cisco 24,
 //     Juniper 250).
 //   - Queues missing fragments after the timeout (~5 s) are discarded.
+//
+//tspuvet:laneowned
 type fragEngine struct {
 	limit   int
 	timeout time.Duration
@@ -31,6 +33,7 @@ type fragEngine struct {
 	forwarded int
 }
 
+//tspuvet:laneowned
 type fragQueue struct {
 	frags    []*packet.Packet
 	pipe     netem.Pipe
@@ -55,6 +58,7 @@ func newFragEngine(limit int, timeout time.Duration) *fragEngine {
 
 // handle consumes one fragment. It always returns Drop: surviving fragments
 // are re-emitted through the pipe when their queue completes.
+//
 //tspuvet:coldpath fragment reassembly buffers copies by design; fragments are the evasion case, not the fast path
 func (fe *fragEngine) handle(pipe netem.Pipe, pkt *packet.Packet, dir netem.Direction) netem.Action {
 	key := packet.FragKeyOf(pkt)

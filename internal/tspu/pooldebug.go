@@ -1,0 +1,44 @@
+//go:build pooldebug
+
+package tspu
+
+// Pool poisoning (-tags=pooldebug): a released flowEntry is scribbled with
+// sentinel values so a stale pointer that keeps using it trips an explicit
+// panic instead of silently reading whatever flow reused the slot. The
+// normal build compiles these hooks to no-ops (pooldebug_off.go), so the
+// datapath and its alloc budgets are unaffected.
+//
+// The poison works with, not instead of, the generation bump in release():
+// gen-carrying references (timeWheel) already self-invalidate; the scribble
+// catches the raw *flowEntry aliases the generation cannot see.
+
+// poisonedState is far outside the ConnState enum; any guarded access to an
+// entry carrying it panics.
+const poisonedState ConnState = 0x7D
+
+// poisonEntry scribbles a just-released entry. Called by release() after the
+// zeroing wipe and generation bump, so gen survives.
+func poisonEntry(e *flowEntry) {
+	e.state = poisonedState
+	e.expires = -1
+	e.rollSeq = 0xDDDDDDDD
+	e.immune = 0xDD
+}
+
+// unpoisonEntry restores a pooled entry to the zero state allocEntry's
+// callers expect, keeping the bumped generation.
+func unpoisonEntry(e *flowEntry) {
+	g := e.gen
+	*e = flowEntry{}
+	e.gen = g
+}
+
+// checkLive panics when a poisoned (already released) entry is used. Wired
+// into release (double release), lookup's map hit (a released entry still in
+// the table), and activeBlock (the first deref every blocked-flow packet
+// makes), so stale aliases trip on their next datapath touch.
+func (e *flowEntry) checkLive(op string) {
+	if e.state == poisonedState {
+		panic("tspu: pooled flowEntry " + op + " after release (pooldebug)")
+	}
+}

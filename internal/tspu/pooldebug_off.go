@@ -1,0 +1,11 @@
+//go:build !pooldebug
+
+package tspu
+
+// No-op counterparts of the pooldebug hooks (pooldebug.go): the normal build
+// inlines these away, keeping the datapath allocation- and branch-free.
+
+func poisonEntry(*flowEntry)   {}
+func unpoisonEntry(*flowEntry) {}
+
+func (e *flowEntry) checkLive(string) {}

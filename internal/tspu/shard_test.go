@@ -3,6 +3,7 @@ package tspu
 import (
 	"fmt"
 	"net/netip"
+	"sync"
 	"testing"
 	"time"
 
@@ -161,6 +162,68 @@ func TestHandleShardedMatchesHandle(t *testing.T) {
 		wb, _ := pb.Marshal()
 		if as != ab || string(ws) != string(wb) {
 			t.Fatalf("packet %d: Handle %v %x, HandleSharded %v %x", i, as, ws, ab, wb)
+		}
+	}
+}
+
+// TestShardLaneParallelRace drives HandleSharded with one goroutine per
+// lane — the batch engine's concurrency contract, stripped to the device —
+// and checks the per-lane verdict streams against a sequential reference.
+// Its real payload is `go test -race`: any cross-lane touch the lanecheck
+// analyzer missed statically shows up here as a data race.
+func TestShardLaneParallelRace(t *testing.T) {
+	stream := multiPairStream(11, 4000)
+	seq := shardEquivDevice(8, 99)
+	par := shardEquivDevice(8, 99)
+	lanes := seq.NumLanes()
+
+	byLane := make([][]*packet.Packet, lanes)
+	for _, p := range stream {
+		l := seq.LaneOf(packet.FlowKey4Of(p))
+		byLane[l] = append(byLane[l], p)
+	}
+
+	runLanePkts := func(d *Device, lane int, pkts []*packet.Packet) []string {
+		pipe := nullPipe{s: d.cfg.Sim}
+		log := make([]string, 0, len(pkts))
+		for _, src := range pkts {
+			p := src.Clone()
+			key := packet.FlowKey4Of(p)
+			act := d.HandleSharded(pipe, p, multiPairDir(p), key, lane)
+			wire, err := p.Marshal()
+			if err != nil {
+				wire = []byte(err.Error())
+			}
+			log = append(log, fmt.Sprintf("%v %x", act, wire))
+		}
+		return log
+	}
+
+	ref := make([][]string, lanes)
+	for l := 0; l < lanes; l++ {
+		ref[l] = runLanePkts(seq, l, byLane[l])
+	}
+
+	got := make([][]string, lanes)
+	var wg sync.WaitGroup
+	for l := 0; l < lanes; l++ {
+		l := l
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			got[l] = runLanePkts(par, l, byLane[l])
+		}()
+	}
+	wg.Wait()
+
+	for l := 0; l < lanes; l++ {
+		if len(got[l]) != len(ref[l]) {
+			t.Fatalf("lane %d: %d verdicts parallel, %d sequential", l, len(got[l]), len(ref[l]))
+		}
+		for i := range ref[l] {
+			if got[l][i] != ref[l][i] {
+				t.Fatalf("lane %d packet %d diverged:\nsequential: %s\nparallel:   %s", l, i, ref[l][i], got[l][i])
+			}
 		}
 	}
 }

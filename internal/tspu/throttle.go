@@ -6,6 +6,10 @@ import "time"
 // exceeds the accumulated byte budget are dropped, not queued — the paper
 // identifies the same policing (not shaping) mechanism as the 2021 Twitter
 // throttling, with the rate lowered to 600-700 bytes per second (§5.2).
+// Buckets hang off a flowEntry's blockState, so they inherit the entry's
+// lane ownership.
+//
+//tspuvet:laneowned
 type tokenBucket struct {
 	rate   float64 // bytes per second
 	burst  float64 // bucket capacity in bytes

@@ -29,11 +29,16 @@ const (
 	wheelSlots = 512
 )
 
+//tspuvet:laneowned
 type wheelRef struct {
 	e   *flowEntry
 	gen uint32
 }
 
+// timeWheel indexes a shard's entries by expiry; it lives inside a ctShard
+// and is only ever advanced by the lane that owns that shard.
+//
+//tspuvet:laneowned
 type timeWheel struct {
 	slots [][]wheelRef
 	// base is the start of slots[cursor]'s window.
