@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: all check vet lint vet-hotpath vet-contracts pooldebug escapes escapes-update build test race race-focus race-lanes conformance cover bench bench-all bench-update bench-throughput bench-throughput-update fleet-smoke fuzz-smoke
+.PHONY: all check vet lint vet-hotpath vet-contracts pooldebug escapes escapes-update build test race race-focus race-lanes conformance cover bench bench-all bench-update bench-throughput bench-throughput-update fleet-smoke fuzz-smoke crosscensor
 
 # Benchmarks gated by the regression harness (hot-path device benches, fleet
 # orchestration, and the ablations). BENCH_COUNT samples each; perfstat takes
@@ -22,7 +22,7 @@ ENGINE_BENCH_PATTERN = ^(BenchmarkEngine_Passthrough$$|BenchmarkEngine_TLSMix$$|
 
 all: check
 
-check: vet lint vet-contracts escapes build test conformance race race-lanes
+check: vet lint vet-contracts escapes build test conformance race race-lanes crosscensor
 
 vet:
 	$(GO) vet ./...
@@ -151,6 +151,18 @@ fleet-smoke:
 	/tmp/tspu-lab -exp table2,fig12 -endpoints 200 -ases 12 -echo 50 -tranco 200 -registry 200 2>/dev/null > /tmp/seq-a.txt
 	/tmp/tspu-lab -exp table2,fig12 -endpoints 200 -ases 12 -echo 50 -tranco 200 -registry 200 2>/dev/null > /tmp/seq-b.txt
 	diff /tmp/seq-a.txt /tmp/seq-b.txt && echo "sequential output byte-identical"
+
+# crosscensor is the multi-censor comparative smoke: run the identical probe
+# battery against every censor model (TSPU, pre-2019 ISP DPI, Turkmenistan,
+# three Indian ISPs) and require the fingerprint matrix to be byte-identical
+# across worker counts, match the committed golden, and keep every censor
+# pair distinguishable (>= 3 pinned differing cells per pair).
+crosscensor:
+	$(GO) build -o /tmp/tspu-lab ./cmd/tspu-lab
+	/tmp/tspu-lab -exp crosscensor -seeds 2 -workers 1 -endpoints 20 -ases 2 -echo 5 -tranco 50 -registry 50 > /tmp/crosscensor-w1.txt
+	/tmp/tspu-lab -exp crosscensor -seeds 2 -workers 4 -endpoints 20 -ases 2 -echo 5 -tranco 50 -registry 50 > /tmp/crosscensor-w4.txt
+	diff /tmp/crosscensor-w1.txt /tmp/crosscensor-w4.txt && echo "crosscensor matrix worker-independent"
+	$(GO) test -count=1 -run 'TestCrossCensor' . ./internal/measure
 
 # 30 seconds of native fuzzing over the wire parsers that face attacker-
 # controlled bytes (IP/TCP, ClientHello, HTTP response).

@@ -1,0 +1,44 @@
+package in
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzINClassify mirrors tspu.FuzzPolicyMatch for the per-ISP profile rows:
+// classification must never panic on arbitrary bytes, must be internally
+// consistent with the profile's trigger flags, and must stay stable. Seeds
+// are the boundary rows — the shared core plus each ISP's divergence names.
+func FuzzINClassify(f *testing.F) {
+	for _, d := range BoundaryRows() {
+		f.Add(d)
+		f.Add("sub." + d)
+		f.Add(strings.ToUpper(d) + ".")
+	}
+	f.Add("")
+	f.Add("\xff\xfe")
+	f.Add("a..com")
+	f.Fuzz(func(t *testing.T, name string) {
+		for _, p := range Profiles() {
+			p := p
+			v := p.Classify(name) // must not panic, whatever the bytes
+			if v2 := p.Classify(name); v != v2 {
+				t.Fatalf("%s.Classify(%q) unstable: %+v then %+v", p.ISP, name, v, v2)
+			}
+			if v.Blocked != p.Blocklist.Contains(name) {
+				t.Fatalf("%s.Classify(%q).Blocked disagrees with the blocklist", p.ISP, name)
+			}
+			// Trigger-field verdicts must be the conjunction of list
+			// membership and the profile's capabilities — a classifier that
+			// invents a trigger invents a matrix cell.
+			if v.HTTP != (v.Blocked && p.TriggerHTTP) ||
+				v.SNI != (v.Blocked && p.TriggerSNI) ||
+				v.DNS != (v.Blocked && p.TriggerDNS) {
+				t.Fatalf("%s.Classify(%q) = %+v inconsistent with profile flags", p.ISP, name, v)
+			}
+			if v.Action != p.Action {
+				t.Fatalf("%s.Classify(%q).Action = %v, want %v", p.ISP, name, v.Action, p.Action)
+			}
+		}
+	})
+}

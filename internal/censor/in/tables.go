@@ -1,0 +1,154 @@
+package in
+
+import (
+	"net/netip"
+
+	"tspusim/internal/packet"
+	"tspusim/internal/tspu"
+)
+
+// InjectAction is what a triggered profile fabricates.
+type InjectAction int
+
+// Actions observed across the measured ISPs (§5).
+const (
+	// ActionBlockpage injects a branded HTTP 200 block notice (§5.2).
+	ActionBlockpage InjectAction = iota
+	// ActionRST injects a bare TCP RST (§5.3).
+	ActionRST
+)
+
+func (a InjectAction) String() string {
+	if a == ActionBlockpage {
+		return "blockpage"
+	}
+	return "rst"
+}
+
+// Profile is one ISP's behavior row: which protocol fields trigger it, what
+// it injects, and the identifying marks its injections carry.
+type Profile struct {
+	ISP string
+	// TriggerHTTP: inspects HTTP Host headers.
+	TriggerHTTP bool
+	// TriggerSNI: inspects TLS SNI.
+	TriggerSNI bool
+	// TriggerDNS: the ISP resolver path forges answers.
+	TriggerDNS bool
+	// Action is the TCP-layer enforcement.
+	Action InjectAction
+	// CensorID is the per-ISP mark embedded in injected blockpages — the
+	// attribution signature of §6.3 (empty for RST-only ISPs).
+	CensorID string
+	// BlockpageAddr is where forged DNS answers point.
+	BlockpageAddr netip.Addr
+	// Blocklist is the ISP's own (divergent) blocklist.
+	Blocklist *tspu.DomainSet
+	// Citation records where the paper establishes this row.
+	Citation string
+}
+
+// Verdict classifies one domain against a profile.
+type Verdict struct {
+	// Blocked: the name is on this ISP's list.
+	Blocked bool
+	// HTTP/SNI/DNS: which trigger fields would fire for it.
+	HTTP, SNI, DNS bool
+	// Action is the enforcement a TCP trigger produces.
+	Action InjectAction
+}
+
+// Classify reports how this profile treats a name. Matching semantics are
+// tspu.DomainSet's (exact or subdomain, case-folded).
+func (p *Profile) Classify(name string) Verdict {
+	blocked := p.Blocklist.Contains(name)
+	return Verdict{
+		Blocked: blocked,
+		HTTP:    blocked && p.TriggerHTTP,
+		SNI:     blocked && p.TriggerSNI,
+		DNS:     blocked && p.TriggerDNS,
+		Action:  p.Action,
+	}
+}
+
+// coreList is the nationally-ordered block set every measured ISP enforced
+// some subset of (§4.1: government orders name the sites; ISPs implement
+// them divergently).
+var coreList = []string{
+	"thepiratebay.org", // §4.1 (court-ordered copyright blocks, all ISPs)
+	"xvideos.com",      // §4.1 (2015 DoT order list)
+	"pastebin.com",     // §4.1 (2016-17 order churn example)
+	"torproject.org",   // §4.1 (circumvention category)
+	"rferl.org",        // §4.1 (news category, subset of ISPs)
+}
+
+// airtelOnly / jioOnly model the paper's list-divergence finding: each ISP's
+// enforced set is its own snapshot of the orders (§4.3, Fig. 4 — pairwise
+// overlap between ISP blocklists is far below 100%).
+var (
+	airtelOnly = []string{"vimeo.com"}    // §4.3 (blocked on Airtel, open on Jio at measurement time)
+	jioOnly    = []string{"telegram.org"} // §4.3 (blocked on Jio, open on Airtel at measurement time)
+	mtnlOnly   = []string{"archive.org"}  // §4.3 (the 2017 archive.org block, MTNL row)
+)
+
+func listOf(extra []string) *tspu.DomainSet {
+	s := tspu.NewDomainSet(coreList...)
+	for _, d := range extra {
+		s.Add(d)
+	}
+	return s
+}
+
+// Profiles returns the modeled ISP rows. Each is a distinct fingerprint:
+// trigger field × injection type × censor ID.
+func Profiles() []Profile {
+	return []Profile{
+		{
+			ISP:         "airtel",
+			TriggerHTTP: true,
+			Action:      ActionBlockpage,
+			CensorID:    `<iframe src="http://www.airtel.in/dot/"></iframe>`,
+			Blocklist:   listOf(airtelOnly),
+			Citation:    "arXiv:1808.01708 §5.2, §6.3 (HTTP-header trigger; injected page iframes airtel.in/dot)",
+		},
+		{
+			ISP:         "jio",
+			TriggerHTTP: true,
+			TriggerSNI:  true,
+			Action:      ActionRST,
+			Blocklist:   listOf(jioOnly),
+			Citation:    "arXiv:1808.01708 §5.3, §6.2 (only measured ISP censoring HTTPS via SNI; resets, no page)",
+		},
+		{
+			ISP:           "mtnl",
+			TriggerHTTP:   true,
+			TriggerDNS:    true,
+			Action:        ActionBlockpage,
+			CensorID:      "Site Blocked as per the instruction of Competent Authority",
+			BlockpageAddr: packet.MustAddr("243.0.0.1"),
+			Blocklist:     listOf(mtnlOnly),
+			Citation:      "arXiv:1808.01708 §5.1-5.2, §6.3 (DNS + HTTP; DoT notice wording as censor ID)",
+		},
+	}
+}
+
+// ProfileFor returns the named ISP row, panicking on typos — experiment code
+// passes constants.
+func ProfileFor(isp string) Profile {
+	for _, p := range Profiles() {
+		if p.ISP == isp {
+			return p
+		}
+	}
+	panic("in: unknown ISP profile " + isp)
+}
+
+// BoundaryRows returns the domains at profile-table boundaries — names on
+// exactly one ISP's list plus the shared core — as the fuzz seed corpus.
+func BoundaryRows() []string {
+	out := append([]string{}, coreList...)
+	out = append(out, airtelOnly...)
+	out = append(out, jioOnly...)
+	out = append(out, mtnlOnly...)
+	return out
+}

@@ -1,0 +1,57 @@
+package tm
+
+import (
+	"strings"
+	"testing"
+)
+
+func isASCII(s string) bool {
+	for i := 0; i < len(s); i++ {
+		if s[i] >= 0x80 {
+			return false
+		}
+	}
+	return true
+}
+
+// FuzzTMClassify mirrors tspu.FuzzPolicyMatch for the TM trigger table:
+// classification must never panic, must be stable, and AddAll must make any
+// well-formed name fully blocked. Seeds are the profile table's boundary
+// rows — the domains where a matching regression would first show.
+func FuzzTMClassify(f *testing.F) {
+	for _, d := range BoundaryRows() {
+		f.Add(d)
+		f.Add("sub." + d)
+		f.Add(strings.ToUpper(d) + ".")
+	}
+	f.Add("")
+	f.Add("\xff\xfe")
+	f.Add("a..com")
+	f.Fuzz(func(t *testing.T, name string) {
+		r := DefaultRules()
+		v1 := r.Classify(name) // must not panic, whatever the bytes
+		if v2 := r.Classify(name); v1 != v2 {
+			t.Fatalf("Classify(%q) unstable: %+v then %+v", name, v1, v2)
+		}
+		// A DNS-only hit must never imply a transport hit and vice versa
+		// unless the table says so; cross-check against the raw lists.
+		if v1.DNS != r.DNS.Contains(name) || v1.HTTP != r.HTTP.Contains(name) || v1.SNI != r.SNI.Contains(name) {
+			t.Fatalf("Classify(%q) = %+v disagrees with the underlying lists", name, v1)
+		}
+		// The Add/Contains round-trip only holds for ASCII names: Add folds
+		// with Unicode ToLower while lookups fold ASCII-only (deliberately —
+		// see tspu.asciiLower; wire DNS names are ASCII).
+		normalized := strings.ToLower(strings.TrimSuffix(name, "."))
+		if normalized == "" || !isASCII(name) {
+			return
+		}
+		fresh := NewRules()
+		fresh.AddAll(name)
+		if v := fresh.Classify(name); !v.DNS || !v.HTTP || !v.SNI {
+			t.Fatalf("Classify(%q) = %+v right after AddAll", name, v)
+		}
+		if v := fresh.Classify("sub." + normalized); !v.DNS || !v.HTTP || !v.SNI {
+			t.Fatalf("subdomain of %q not classified after AddAll: %+v", name, v)
+		}
+	})
+}

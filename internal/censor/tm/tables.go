@@ -1,0 +1,115 @@
+package tm
+
+import (
+	"tspusim/internal/packet"
+	"tspusim/internal/tspu"
+)
+
+// BlockedAnswer is the address forged DNS answers carry. The paper's probes
+// received localhost and other non-routable addresses for blocked names —
+// an answer that resolves but can never connect (§4.1).
+var BlockedAnswer = packet.MustAddr("127.0.0.1")
+
+// Verdict is the per-trigger-field classification of one domain, mirroring
+// tspu.Classification for the TMC's three mechanisms.
+type Verdict struct {
+	// DNS: forged A answer injected for queries about the name (§4).
+	DNS bool
+	// HTTP: RST+ACK pair injected when the name appears in a Host header (§5.1).
+	HTTP bool
+	// SNI: RST+ACK pair injected when the name appears as TLS SNI (§5.2).
+	SNI bool
+}
+
+// Rules is the TMC trigger table: three independent blocklists, one per
+// mechanism. The paper found the lists overlap but are not identical — some
+// domains are DNS-blocked only, others blocked at every layer (§7, Table 2).
+type Rules struct {
+	DNS  *tspu.DomainSet
+	HTTP *tspu.DomainSet
+	SNI  *tspu.DomainSet
+}
+
+// NewRules returns an empty trigger table.
+func NewRules() *Rules {
+	return &Rules{
+		DNS:  tspu.NewDomainSet(),
+		HTTP: tspu.NewDomainSet(),
+		SNI:  tspu.NewDomainSet(),
+	}
+}
+
+// Classify reports which mechanisms a name triggers. Matching semantics are
+// tspu.DomainSet's: exact or subdomain, case-folded, trailing dot ignored —
+// the paper confirmed subdomain wildcarding on all three mechanisms (§7.1).
+func (r *Rules) Classify(name string) Verdict {
+	return Verdict{
+		DNS:  r.DNS.Contains(name),
+		HTTP: r.HTTP.Contains(name),
+		SNI:  r.SNI.Contains(name),
+	}
+}
+
+// AddAll inserts a name into every mechanism's list — the common case for
+// the fully-blocked core of the list (§7, Table 2).
+func (r *Rules) AddAll(name string) {
+	r.DNS.Add(name)
+	r.HTTP.Add(name)
+	r.SNI.Add(name)
+}
+
+// defaultRows transcribes representative rows of the paper's findings. Each
+// row cites where the behavior class is established. These are profile rows,
+// not a registry dump: the paper estimates ~122K blocked domains from a
+// 15.5M-domain scan (§7).
+var defaultRows = []struct {
+	Domain         string
+	DNS, HTTP, SNI bool
+	Citation       string
+}{
+	// Fully blocked at all three layers (§7 Table 2: social media and
+	// messaging platforms blocked by DNS, HTTP, and HTTPS interference).
+	{"facebook.com", true, true, true, "arXiv:2304.04835 §7 Table 2 (social media, all mechanisms)"},
+	{"twitter.com", true, true, true, "arXiv:2304.04835 §7 Table 2 (social media, all mechanisms)"},
+	{"youtube.com", true, true, true, "arXiv:2304.04835 §7 Table 2 (media platforms, all mechanisms)"},
+	{"whatsapp.com", true, true, true, "arXiv:2304.04835 §7 Table 2 (messaging, all mechanisms)"},
+	// Foreign news services: RFE/RL's Turkmen service is the canonical
+	// politically-motivated block (§1, §7.2 news category).
+	{"azathabar.com", true, true, true, "arXiv:2304.04835 §7.2 (RFE/RL Turkmen service, news category)"},
+	{"hrw.org", true, true, true, "arXiv:2304.04835 §7.2 (human-rights organizations)"},
+	// Circumvention infrastructure is blocked more aggressively at the
+	// transport layers than in DNS (§7.2 VPN category; list divergence §7.1).
+	{"protonvpn.com", false, true, true, "arXiv:2304.04835 §7.1-7.2 (VPN category; HTTP/HTTPS-only row)"},
+	{"torproject.org", true, true, true, "arXiv:2304.04835 §7.2 (circumvention tools)"},
+	// DNS-only rows exist too: names whose A lookups are poisoned while the
+	// transport mechanisms miss them (§7.1 list divergence).
+	{"signal.org", true, false, false, "arXiv:2304.04835 §7.1 (DNS-list-only divergence row)"},
+}
+
+// DefaultRules builds the paper-derived trigger table.
+func DefaultRules() *Rules {
+	r := NewRules()
+	for _, row := range defaultRows {
+		if row.DNS {
+			r.DNS.Add(row.Domain)
+		}
+		if row.HTTP {
+			r.HTTP.Add(row.Domain)
+		}
+		if row.SNI {
+			r.SNI.Add(row.Domain)
+		}
+	}
+	return r
+}
+
+// BoundaryRows returns the table rows whose mechanism sets differ from their
+// neighbors — the fuzz seed corpus (rows where a classifier regression would
+// first show).
+func BoundaryRows() []string {
+	out := make([]string, 0, len(defaultRows))
+	for _, row := range defaultRows {
+		out = append(out, row.Domain)
+	}
+	return out
+}

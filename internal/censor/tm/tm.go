@@ -1,0 +1,151 @@
+// Package tm models Turkmenistan's national censorship system as measured by
+// Nourin et al., "Measuring and Evading Turkmenistan's Internet Censorship"
+// (arXiv:2304.04835). The TMC is the fingerprint opposite of the TSPU on
+// almost every probe axis the battery runs:
+//
+//   - It is an *injector*, not an in-path rewriter: triggers produce forged
+//     DNS answers and RST+ACK pairs while the original packet is handled at
+//     the injection point, instead of the TSPU's downstream-response rewrite
+//     (§4, §5).
+//   - It is *bidirectional*: the same rules fire on traffic entering the
+//     country, which is how the paper measured it from outside without any
+//     in-country vantage (§3.1). The TSPU triggers only on locally-originated
+//     flows.
+//   - It is *stateless*: every packet is judged in isolation, so there is no
+//     residual per-flow blocking, no conntrack to exhaust, and no fragment
+//     queue to fingerprint (§6.2 — fragmentation-based evasion works).
+package tm
+
+import (
+	"tspusim/internal/censor"
+	"tspusim/internal/dnsx"
+	"tspusim/internal/httpx"
+	"tspusim/internal/netem"
+	"tspusim/internal/packet"
+	"tspusim/internal/tlsx"
+)
+
+// Config configures one TMC instance.
+type Config struct {
+	// Name identifies the instance (default "tm").
+	Name string
+	// Rules is the trigger table; nil gets DefaultRules().
+	Rules *Rules
+}
+
+// Censor is the Turkmenistan censor model. It implements censor.Censor.
+type Censor struct {
+	cfg   Config
+	rules *Rules
+
+	// DNSInjections counts forged DNS answers emitted (§4).
+	DNSInjections int
+	// RSTInjections counts forged RST+ACK packets emitted (§5).
+	RSTInjections int
+	triggers      int
+	dropped       int
+}
+
+// New builds a TMC instance.
+func New(cfg Config) *Censor {
+	if cfg.Rules == nil {
+		cfg.Rules = DefaultRules()
+	}
+	return &Censor{cfg: cfg, rules: cfg.Rules}
+}
+
+// Rules returns the live trigger table (mutable, like a tspu.Policy).
+func (c *Censor) Rules() *Rules { return c.rules }
+
+// Name implements netem.Middlebox.
+func (c *Censor) Name() string {
+	if c.cfg.Name != "" {
+		return c.cfg.Name
+	}
+	return "tm"
+}
+
+// ConntrackSize implements censor.Censor: the TMC keeps no flow state (§6.2).
+func (c *Censor) ConntrackSize() int { return 0 }
+
+// PendingFragQueues implements censor.Censor: fragments pass uninspected —
+// the paper's fragmentation evasion works because nothing reassembles (§6.2).
+func (c *Censor) PendingFragQueues() int { return 0 }
+
+// Counters implements censor.Censor.
+func (c *Censor) Counters() censor.Counters {
+	return censor.Counters{
+		ContentTriggers: c.triggers,
+		Injected:        c.DNSInjections + c.RSTInjections,
+		Dropped:         c.dropped,
+	}
+}
+
+// Handle implements netem.Middlebox. Note the deliberate absence of any
+// direction check: the TMC's bidirectionality (§3.1) is the single most
+// distinguishing cell in the fingerprint matrix, and it falls out of not
+// consulting dir for trigger decisions at all.
+func (c *Censor) Handle(pipe netem.Pipe, pkt *packet.Packet, dir netem.Direction) netem.Action {
+	if pkt.IsFragment() {
+		return netem.Pass // no reassembly; fragmentation evades (§6.2)
+	}
+	if pkt.UDP != nil && (pkt.UDP.DstPort == 53 || pkt.UDP.SrcPort == 53) {
+		return c.handleDNS(pipe, pkt, dir)
+	}
+	if pkt.TCP != nil && len(pkt.TCP.Payload) > 0 {
+		return c.handleTCP(pipe, pkt, dir)
+	}
+	return netem.Pass
+}
+
+// handleDNS injects a forged A answer for blocked questions, racing (and in
+// practice beating) the legitimate resolver — the paper's clients always saw
+// the injected answer first because it originates mid-path (§4.1). The query
+// itself is forwarded, again matching the observed race.
+func (c *Censor) handleDNS(pipe netem.Pipe, pkt *packet.Packet, dir netem.Direction) netem.Action {
+	m, err := dnsx.Decode(pkt.UDP.Payload)
+	if err != nil || m.Response || !c.rules.DNS.Contains(m.Question) {
+		return netem.Pass
+	}
+	forged := dnsx.NewQuery(m.ID, m.Question).Respond(BlockedAnswer)
+	wire, err := forged.Encode()
+	if err != nil {
+		return netem.Pass
+	}
+	reply := packet.NewUDP(pkt.IP.Dst, pkt.IP.Src, pkt.UDP.DstPort, pkt.UDP.SrcPort, wire)
+	c.triggers++
+	c.DNSInjections++
+	pipe.Inject(reply, dir.Reverse())
+	return netem.Pass
+}
+
+// handleTCP matches HTTP Host headers and TLS SNI; a hit injects RST+ACK at
+// both endpoints and consumes the trigger, tearing the connection down from
+// the middle (§5.1, §5.2).
+func (c *Censor) handleTCP(pipe netem.Pipe, pkt *packet.Packet, dir netem.Direction) netem.Action {
+	matched := false
+	if req, err := httpx.ParseRequest(pkt.TCP.Payload); err == nil {
+		matched = c.rules.HTTP.Contains(req.Host)
+	}
+	if !matched {
+		if sni, ok := tlsx.ExtractSNI(pkt.TCP.Payload); ok {
+			matched = c.rules.SNI.Contains(string(sni))
+		}
+	}
+	if !matched {
+		return netem.Pass
+	}
+	c.triggers++
+	c.dropped++
+	payloadLen := uint32(len(pkt.TCP.Payload))
+	toSender := packet.NewTCP(pkt.IP.Dst, pkt.IP.Src, pkt.TCP.DstPort, pkt.TCP.SrcPort,
+		packet.FlagsRSTACK, pkt.TCP.Ack, pkt.TCP.Seq+payloadLen, nil)
+	toReceiver := packet.NewTCP(pkt.IP.Src, pkt.IP.Dst, pkt.TCP.SrcPort, pkt.TCP.DstPort,
+		packet.FlagsRSTACK, pkt.TCP.Seq, pkt.TCP.Ack, nil)
+	c.RSTInjections += 2
+	pipe.Inject(toSender, dir.Reverse())
+	pipe.Inject(toReceiver, dir)
+	return netem.Drop
+}
+
+var _ censor.Censor = (*Censor)(nil)

@@ -49,6 +49,12 @@ type Options struct {
 	// NoState omits the per-step device-state lines; required for comparator
 	// middleboxes, which expose no TSPU-shaped counters.
 	NoState bool
+	// WrapDevice, if set, wraps the constructed middlebox before it is
+	// attached to the link. The censor-interface conformance test uses it to
+	// route every Handle call through interface dispatch (censor.Censor)
+	// while state lines still read the concrete device — proving the
+	// interface seam adds no behavioral surface.
+	WrapDevice func(netem.Middlebox) netem.Middlebox
 }
 
 // Result is the outcome of one differential run.
@@ -113,6 +119,9 @@ func RunDevice(tr *Trace, opts Options) string {
 		ctrl = tspu.NewController(BasePolicy())
 		ctrl.Register(dev)
 		mb = dev
+	}
+	if opts.WrapDevice != nil {
+		mb = opts.WrapDevice(mb)
 	}
 	link.Attach(mb)
 

@@ -12,6 +12,7 @@ import (
 	"strings"
 	"time"
 
+	"tspusim/internal/censor"
 	"tspusim/internal/dnsx"
 	"tspusim/internal/hostnet"
 	"tspusim/internal/netem"
@@ -69,6 +70,19 @@ type KeywordDPI struct {
 // Name implements netem.Middlebox.
 func (k *KeywordDPI) Name() string { return "keyword-dpi/" + k.ISP }
 
+// ConntrackSize implements censor.Censor: the keyword matcher is stateless —
+// every packet is judged in isolation, so nothing outlives a flow.
+func (k *KeywordDPI) ConntrackSize() int { return 0 }
+
+// PendingFragQueues implements censor.Censor: no reassembly, fragments pass
+// uninspected (which is precisely why fragmentation evades it).
+func (k *KeywordDPI) PendingFragQueues() int { return 0 }
+
+// Counters implements censor.Censor.
+func (k *KeywordDPI) Counters() censor.Counters {
+	return censor.Counters{ContentTriggers: k.Resets, Rewritten: k.Resets}
+}
+
 // Handle implements netem.Middlebox.
 func (k *KeywordDPI) Handle(pipe netem.Pipe, pkt *packet.Packet, dir netem.Direction) netem.Action {
 	if pkt.TCP == nil || len(pkt.TCP.Payload) == 0 {
@@ -111,6 +125,25 @@ func NewFragLimitMiddlebox(label string, limit int) *FragLimitMiddlebox {
 
 // Name implements netem.Middlebox.
 func (m *FragLimitMiddlebox) Name() string { return "fraglimit/" + m.Label }
+
+// ConntrackSize implements censor.Censor: the comparator tracks no flows,
+// only fragment queues.
+func (m *FragLimitMiddlebox) ConntrackSize() int { return 0 }
+
+// PendingFragQueues implements censor.Censor.
+func (m *FragLimitMiddlebox) PendingFragQueues() int { return len(m.queues) }
+
+// Counters implements censor.Censor.
+func (m *FragLimitMiddlebox) Counters() censor.Counters {
+	return censor.Counters{Dropped: m.Discarded}
+}
+
+// Both ISP-era comparators are censor models the cross-censor battery can
+// drive alongside the TSPU and the TM/IN profiles.
+var (
+	_ censor.Censor = (*KeywordDPI)(nil)
+	_ censor.Censor = (*FragLimitMiddlebox)(nil)
+)
 
 // Handle implements netem.Middlebox.
 func (m *FragLimitMiddlebox) Handle(pipe netem.Pipe, pkt *packet.Packet, dir netem.Direction) netem.Action {

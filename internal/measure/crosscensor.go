@@ -1,0 +1,666 @@
+package measure
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"tspusim/internal/censor"
+	"tspusim/internal/censor/in"
+	"tspusim/internal/censor/tm"
+	"tspusim/internal/dnsx"
+	"tspusim/internal/hostnet"
+	"tspusim/internal/httpx"
+	"tspusim/internal/ispdpi"
+	"tspusim/internal/packet"
+	"tspusim/internal/report"
+	"tspusim/internal/sim"
+	"tspusim/internal/topo"
+	"tspusim/internal/tspu"
+)
+
+// The cross-censor battery (ROADMAP item 4): run the *identical* probe suite
+// against every modeled censor and pin the resulting fingerprint matrix.
+// The paper's claim that TSPU behavior is a fingerprint — residual per-flow
+// blocking, local-direction-only triggers, downstream RST/ACK rewriting, the
+// 45-fragment queue — is only checkable relative to censors that behave
+// differently on the same probes: Turkmenistan's bidirectional stateless
+// injector (arXiv:2304.04835), India's heterogeneous per-ISP middleboxes
+// (arXiv:1808.01708), and the pre-2019 Russian ISP keyword DPI.
+//
+// Every probe builds a fresh CensorTestbed (fresh Sim, fresh censor
+// instance), mirroring the paper's fresh-source-port methodology, so cells
+// are independent and the matrix is a pure function of the model tables.
+
+// CrossBlockedDomain is the canonical blocked name installed into every
+// model's trigger tables, so each cell elicits behavior with the same
+// stimulus. RFE/RL is blocked by Russia, Turkmenistan (its Turkmen service),
+// and a subset of Indian ISPs, making it the honest common denominator.
+const CrossBlockedDomain = "rferl.org"
+
+// CensorModel is one column of the fingerprint matrix.
+type CensorModel struct {
+	Name string
+	// Cite is the paper establishing the modeled behavior.
+	Cite string
+	// Build constructs a fresh instance configured with the battery's
+	// canonical blocked domain, on the testbed's simulator.
+	Build func(s *sim.Sim) censor.Censor
+}
+
+// CrossCensorModels returns the battery's model set in matrix column order.
+func CrossCensorModels(seed uint64) []CensorModel {
+	return []CensorModel{
+		{
+			Name: "tspu",
+			Cite: "TSPU (IMC '22)",
+			Build: func(s *sim.Sim) censor.Censor {
+				d := tspu.NewDevice(tspu.Config{
+					Name:     "tspu",
+					Sim:      s,
+					Rand:     sim.NewRand(sim.StreamSeed(seed, "crosscensor/tspu")),
+					LocalDir: topo.CensorTestbedLocalDir,
+				})
+				ctl := tspu.NewController(nil)
+				ctl.Register(d)
+				ctl.Update(func(p *tspu.Policy) {
+					p.SNI1Domains.Add(CrossBlockedDomain)
+					p.QUICFilter = true
+				})
+				return d
+			},
+		},
+		{
+			Name: "ispdpi-keyword",
+			Cite: "pre-2019 RU ISP DPI (§2 [81])",
+			Build: func(s *sim.Sim) censor.Censor {
+				return &ispdpi.KeywordDPI{ISP: "crosscensor", Keywords: []string{CrossBlockedDomain}}
+			},
+		},
+		{
+			Name: "tm",
+			Cite: "arXiv:2304.04835",
+			Build: func(s *sim.Sim) censor.Censor {
+				c := tm.New(tm.Config{})
+				c.Rules().AddAll(CrossBlockedDomain)
+				return c
+			},
+		},
+		{
+			Name: "in-airtel",
+			Cite: "arXiv:1808.01708",
+			Build: func(s *sim.Sim) censor.Censor {
+				p := in.ProfileFor("airtel")
+				p.Blocklist.Add(CrossBlockedDomain)
+				return in.New(in.Config{Profile: p, LocalDir: topo.CensorTestbedLocalDir})
+			},
+		},
+		{
+			Name: "in-jio",
+			Cite: "arXiv:1808.01708",
+			Build: func(s *sim.Sim) censor.Censor {
+				p := in.ProfileFor("jio")
+				p.Blocklist.Add(CrossBlockedDomain)
+				return in.New(in.Config{Profile: p, LocalDir: topo.CensorTestbedLocalDir})
+			},
+		},
+		{
+			Name: "in-mtnl",
+			Cite: "arXiv:1808.01708",
+			Build: func(s *sim.Sim) censor.Censor {
+				p := in.ProfileFor("mtnl")
+				p.Blocklist.Add(CrossBlockedDomain)
+				return in.New(in.Config{Profile: p, LocalDir: topo.CensorTestbedLocalDir})
+			},
+		},
+	}
+}
+
+// CensorProbe is one row of the fingerprint matrix: family/name plus the
+// probe function, which builds its own testbed and returns the observed
+// behavior as a canonical string.
+type CensorProbe struct {
+	Family string
+	Name   string
+	Run    func(m CensorModel) string
+}
+
+// ID returns the row label.
+func (p CensorProbe) ID() string { return p.Family + "/" + p.Name }
+
+// CensorProbes returns the battery rows in matrix order. Every probe is the
+// same stimulus for every model; cells differ only because behaviors do.
+func CensorProbes() []CensorProbe {
+	return []CensorProbe{
+		{"localize", "tls-ttl-ladder", probeLocalizeTLS},
+		{"localize", "http-ttl-ladder", probeLocalizeHTTP},
+		{"state", "remote-first-flow", probeRemoteFirst},
+		{"state", "server-side-clienthello", probeServerSideCH},
+		{"state", "conntrack-occupancy", probeConntrack},
+		{"frag", "syn-queue-limit", probeFragLimit},
+		{"frag", "split-clienthello", probeFragCH},
+		{"residual", "reused-port", probeResidualReused},
+		{"residual", "fresh-port", probeResidualFresh},
+		{"residual", "after-expiry", probeResidualExpiry},
+		{"dns", "blocked-query", probeDNSBlocked},
+		{"dns", "reverse-query", probeDNSReverse},
+		{"http", "blocked-host", probeHTTPBlocked},
+		{"http", "control-host", probeHTTPControl},
+		{"list", "divergent-hosts", probeDivergentHosts},
+		{"tls", "blocked-sni", probeTLSBlocked},
+		{"quic", "blocked-initial", probeQUIC},
+	}
+}
+
+// FingerprintMatrix is the deterministic censor × probe → behavior table.
+type FingerprintMatrix struct {
+	Models []CensorModel
+	Probes []CensorProbe
+	// Cells is indexed [probe][model].
+	Cells [][]string
+}
+
+// CrossCensor runs the full battery.
+func CrossCensor(seed uint64) *FingerprintMatrix {
+	mx := &FingerprintMatrix{
+		Models: CrossCensorModels(seed),
+		Probes: CensorProbes(),
+	}
+	for _, p := range mx.Probes {
+		row := make([]string, 0, len(mx.Models))
+		for _, m := range mx.Models {
+			row = append(row, p.Run(m))
+		}
+		mx.Cells = append(mx.Cells, row)
+	}
+	return mx
+}
+
+// Cell returns the observed behavior for (probeID, modelName), panicking on
+// unknown labels — tests pass constants.
+func (mx *FingerprintMatrix) Cell(probeID, model string) string {
+	pi, mi := -1, -1
+	for i, p := range mx.Probes {
+		if p.ID() == probeID {
+			pi = i
+		}
+	}
+	for i, m := range mx.Models {
+		if m.Name == model {
+			mi = i
+		}
+	}
+	if pi < 0 || mi < 0 {
+		panic("crosscensor: unknown cell " + probeID + " × " + model)
+	}
+	return mx.Cells[pi][mi]
+}
+
+// Fingerprint returns one model's column joined in probe order — the string
+// that must be unique per censor for the models to be distinguishable.
+func (mx *FingerprintMatrix) Fingerprint(model string) string {
+	var parts []string
+	for _, p := range mx.Probes {
+		parts = append(parts, p.ID()+"="+mx.Cell(p.ID(), model))
+	}
+	return strings.Join(parts, "; ")
+}
+
+// DistinctFingerprints counts unique columns.
+func (mx *FingerprintMatrix) DistinctFingerprints() int {
+	seen := map[string]bool{}
+	for _, m := range mx.Models {
+		seen[mx.Fingerprint(m.Name)] = true
+	}
+	return len(seen)
+}
+
+// Render prints the matrix as the crosscensor experiment's report.
+func (mx *FingerprintMatrix) Render() string {
+	var b strings.Builder
+	t := report.NewTable("Cross-censor fingerprint matrix (identical probe battery, one column per censor model)",
+		"Probe", "Censor", "Observed behavior")
+	for pi, p := range mx.Probes {
+		for mi, m := range mx.Models {
+			t.AddRow(p.ID(), m.Name, mx.Cells[pi][mi])
+		}
+	}
+	b.WriteString(t.String())
+	fmt.Fprintf(&b, "models: %d (", len(mx.Models))
+	for i, m := range mx.Models {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		fmt.Fprintf(&b, "%s: %s", m.Name, m.Cite)
+	}
+	b.WriteString(")\n")
+	families := map[string]bool{}
+	for _, p := range mx.Probes {
+		families[p.Family] = true
+	}
+	fmt.Fprintf(&b, "probe families: %d, probes: %d, distinct fingerprints: %d/%d\n",
+		len(families), len(mx.Probes), mx.DistinctFingerprints(), len(mx.Models))
+	b.WriteString("stimulus domain: " + CrossBlockedDomain + " (installed in every model's tables); control: " + DomainControl + "\n")
+	return b.String()
+}
+
+// ---- probe implementations ----
+
+// Canonical cell vocabulary. Probes translate raw observations into these
+// strings; the differential pair tests pin exact values, so changing one is
+// changing a behavioral claim.
+const (
+	cellNone = "no interference"
+)
+
+func newCensorTestbed(m CensorModel) *topo.CensorTestbed {
+	return topo.BuildCensorTestbed(m.Build)
+}
+
+func anyRST(pkts []*packet.Packet) bool {
+	for _, p := range pkts {
+		if p.TCP != nil && p.TCP.Flags.Has(packet.FlagRST) {
+			return true
+		}
+	}
+	return false
+}
+
+// pinnedFlow is NewFlowOn with an explicit local port — residual probes must
+// reuse the triggering 4-tuple.
+func pinnedFlow(t *topo.CensorTestbed, lport uint16) *Flow {
+	f := &Flow{sim: t.Sim, Local: t.Client, Remote: t.Server, LPort: lport, RPort: 443, lseq: 1000, rseq: 5000}
+	t.Client.RawBind(lport, func(p *packet.Packet) { f.LocalGot = append(f.LocalGot, p) })
+	t.Server.RawBind(443, func(p *packet.Packet) {
+		if p.TCP.SrcPort == lport {
+			f.RemoteGot = append(f.RemoteGot, p)
+		}
+	})
+	return f
+}
+
+// handshake runs the scripted three-way exchange.
+func handshake(f *Flow) {
+	f.L(packet.FlagSYN, nil)
+	f.R(packet.FlagsSYNACK, nil)
+	f.L(packet.FlagACK, nil)
+}
+
+// probeTLSBlocked: full handshake, blocked ClientHello, then a downstream
+// data probe. Separates the TSPU's downstream rewrite from injection-style
+// censors and from in-flight rewriters.
+func probeTLSBlocked(m CensorModel) string {
+	t := newCensorTestbed(m)
+	f := NewFlowOn(t.Sim, t.Client, t.Server, 443)
+	defer f.Close()
+	handshake(f)
+	f.L(packet.FlagsPSHACK, CH(CrossBlockedDomain))
+	injectedRST := f.LastLocalRST()
+	upstreamRST := anyRST(f.RemoteGot)
+	chDelivered := f.remoteDataCount() > 0
+	f.R(packet.FlagsPSHACK, []byte("SERVERHELLO"))
+	downstreamRST := f.LastLocalRST()
+	switch {
+	case injectedRST && !chDelivered:
+		return "rst injected to both ends, trigger consumed"
+	case upstreamRST && !chDelivered:
+		return "trigger rewritten to rst in flight"
+	case chDelivered && downstreamRST:
+		return "trigger passed, downstream rewritten to rst/ack"
+	case chDelivered && !downstreamRST:
+		return cellNone
+	default:
+		return "trigger silently dropped"
+	}
+}
+
+// probeHTTPBlocked: a real TCP connection fetching a blocked Host. The
+// client-visible outcome — branded blockpage, bare reset, origin page, or
+// silence — is the §5/§6 attribution axis of the India paper.
+func probeHTTPBlocked(m CensorModel) string { return httpProbe(m, CrossBlockedDomain) }
+
+// probeHTTPControl: same fetch for an unblocked Host; every model must serve
+// the origin (overblocking would show here).
+func probeHTTPControl(m CensorModel) string { return httpProbe(m, DomainControl) }
+
+func httpProbe(m CensorModel, host string) string {
+	t := newCensorTestbed(m)
+	conn := t.Client.Dial(t.ServerAddr(), 80, hostnet.DialOptions{})
+	t.Sim.Run()
+	conn.Send(httpx.FormatRequest("GET", host, "/"))
+	t.Sim.Run()
+	body := string(conn.Received)
+	switch {
+	case strings.Contains(body, "origin content of "+host):
+		return "origin page served"
+	case len(body) > 0:
+		// An injected page: attribute it by censor ID, the way the India
+		// paper fingerprints ISPs from their injected packets (§6.3).
+		for _, p := range in.Profiles() {
+			if p.CensorID != "" && strings.Contains(body, p.CensorID) {
+				return "blockpage injected [censor-id: " + p.ISP + "]"
+			}
+		}
+		return "blockpage injected [censor-id: unknown]"
+	case conn.ResetSeen:
+		return "rst injected, no page"
+	case len(t.ServerHTTPHosts) == 0:
+		return "request killed in flight, no response"
+	default:
+		return "request served but response lost"
+	}
+}
+
+// probeDivergentHosts: fetch the IN profiles' per-ISP divergence rows. The
+// India paper's central list finding is that each ISP enforces its own
+// snapshot of the blocking orders (§4.3, Fig. 4) — so even two ISPs with the
+// same mechanism are distinguishable by *which* names they block. The other
+// models block none of these, making the cell a pure list fingerprint.
+func probeDivergentHosts(m CensorModel) string {
+	hosts := []string{"vimeo.com", "telegram.org", "archive.org"}
+	var blocked []string
+	for _, h := range hosts {
+		if httpProbe(m, h) != "origin page served" {
+			blocked = append(blocked, h)
+		}
+	}
+	if len(blocked) == 0 {
+		return "all served (shared stimulus only)"
+	}
+	return "blocked: " + strings.Join(blocked, ", ")
+}
+
+// probeDNSBlocked: an A query for the blocked name through the censor to the
+// origin resolver. Forged-answer injection is TM's primary mechanism and one
+// of India's; the TSPU does not touch DNS (its DNS-era predecessor did).
+func probeDNSBlocked(m CensorModel) string {
+	t := newCensorTestbed(m)
+	var answers []*dnsx.Message
+	t.Client.BindUDP(5353, func(p *packet.Packet) {
+		if msg, err := dnsx.Decode(p.UDP.Payload); err == nil {
+			answers = append(answers, msg)
+		}
+	})
+	wire, err := dnsx.NewQuery(7, CrossBlockedDomain).Encode()
+	if err != nil {
+		return "query encode failed"
+	}
+	t.Client.SendUDP(t.ServerAddr(), 5353, 53, wire)
+	t.Sim.Run()
+	return classifyDNSAnswers(answers)
+}
+
+func classifyDNSAnswers(answers []*dnsx.Message) string {
+	if len(answers) == 0 {
+		return "no answer"
+	}
+	first := answers[0]
+	forged := len(first.Answers) > 0 && first.Answers[0].Addr != topo.CensorTestbedRealAnswer
+	switch {
+	case forged && len(answers) > 1:
+		return "forged answer injected (races the legit reply)"
+	case forged:
+		return "forged answer injected (query consumed)"
+	default:
+		return "resolved by origin"
+	}
+}
+
+// probeDNSReverse: the same query sent *into* the client network from the
+// server side — no resolver lives there, so any answer is injected. This is
+// exactly how the TM paper measured Turkmenistan from outside (§3.1).
+func probeDNSReverse(m CensorModel) string {
+	t := newCensorTestbed(m)
+	var answers []*dnsx.Message
+	t.Server.BindUDP(5353, func(p *packet.Packet) {
+		if msg, err := dnsx.Decode(p.UDP.Payload); err == nil {
+			answers = append(answers, msg)
+		}
+	})
+	wire, err := dnsx.NewQuery(9, CrossBlockedDomain).Encode()
+	if err != nil {
+		return "query encode failed"
+	}
+	t.Server.SendUDP(t.Client.Addr(), 5353, 53, wire)
+	t.Sim.Run()
+	if len(answers) == 0 {
+		return "no answer (inbound queries not inspected)"
+	}
+	return "forged answer injected (bidirectional inspection)"
+}
+
+// probeRemoteFirst: the server opens the connection, then the client sends
+// the blocked ClientHello. The TSPU's conntrack exempts remotely-originated
+// flows (§5.2 role confusion); stateless censors cannot tell the difference.
+func probeRemoteFirst(m CensorModel) string {
+	t := newCensorTestbed(m)
+	f := NewFlowOn(t.Sim, t.Client, t.Server, 443)
+	defer f.Close()
+	f.R(packet.FlagSYN, nil)
+	f.L(packet.FlagsSYNACK, nil)
+	f.R(packet.FlagACK, nil)
+	f.L(packet.FlagsPSHACK, CH(CrossBlockedDomain))
+	injectedRST := f.LastLocalRST()
+	upstreamRST := anyRST(f.RemoteGot)
+	chDelivered := f.remoteDataCount() > 0
+	f.R(packet.FlagsPSHACK, []byte("SERVERHELLO"))
+	switch {
+	case injectedRST && !chDelivered:
+		return "acts (rst injected; no flow-origin state)"
+	case upstreamRST && !chDelivered:
+		return "acts (rewritten in flight; no flow-origin state)"
+	case chDelivered && f.LastLocalRST():
+		return "acts (downstream rewritten)"
+	case chDelivered:
+		return cellNone
+	default:
+		return "trigger silently dropped"
+	}
+}
+
+// probeServerSideCH: the blocked ClientHello travels server→client on an
+// established flow. Bidirectional censors fire; direction-bound ones pass.
+func probeServerSideCH(m CensorModel) string {
+	t := newCensorTestbed(m)
+	f := NewFlowOn(t.Sim, t.Client, t.Server, 443)
+	defer f.Close()
+	handshake(f)
+	before := len(f.LocalGot)
+	f.R(packet.FlagsPSHACK, CH(CrossBlockedDomain))
+	gotPayload, gotRST := false, false
+	for _, p := range f.LocalGot[before:] {
+		if len(p.TCP.Payload) > 0 {
+			gotPayload = true
+		}
+		if p.TCP.Flags.Has(packet.FlagRST) {
+			gotRST = true
+		}
+	}
+	serverRST := anyRST(f.RemoteGot)
+	switch {
+	case gotPayload && !gotRST:
+		return "passed (direction not inspected)"
+	case gotRST && serverRST:
+		return "acts (consumed; rst injected to both ends)"
+	case gotRST:
+		return "acts (rewritten to rst in flight)"
+	default:
+		return "silently dropped"
+	}
+}
+
+// probeConntrack: open 40 distinct raw flows, then read the model's own
+// flow-table occupancy — the state that residual blocking and exhaustion
+// attacks live in.
+func probeConntrack(m CensorModel) string {
+	t := newCensorTestbed(m)
+	for i := 0; i < 40; i++ {
+		f := NewFlowOn(t.Sim, t.Client, t.Server, 443)
+		handshake(f)
+		f.Close()
+	}
+	n := t.Censor.ConntrackSize()
+	if n == 0 {
+		return "stateless (0 flows tracked after 40 opens)"
+	}
+	return fmt.Sprintf("stateful (%d flows tracked after 40 opens)", n)
+}
+
+// probeFragLimit: the §7.2 fingerprint — a SYN in 45 fragments vs 46.
+func probeFragLimit(m CensorModel) string {
+	t45 := newCensorTestbed(m)
+	r45 := fragProbeOn(t45.Sim, t45.Client, t45.ServerAddr(), 443, 45, 0)
+	t46 := newCensorTestbed(m)
+	r46 := fragProbeOn(t46.Sim, t46.Client, t46.ServerAddr(), 443, 46, 0)
+	switch {
+	case r45 && !r46:
+		return "45 answered, 46 dropped (45-fragment queue limit)"
+	case r45 && r46:
+		return "45 and 46 both answered (no queue limit below host's 64)"
+	case !r45 && r46:
+		return "45 dropped, 46 answered (inverted limit?)"
+	default:
+		return "both dropped"
+	}
+}
+
+// probeFragCH: the blocked ClientHello split across two IP fragments. None
+// of the modeled censors reassemble before inspecting, so this is the shared
+// evasion cell — pinned so a model that silently grows reassembly changes it.
+func probeFragCH(m CensorModel) string {
+	t := newCensorTestbed(m)
+	f := NewFlowOn(t.Sim, t.Client, t.Server, 443)
+	defer f.Close()
+	handshake(f)
+	ch := packet.NewTCP(t.Client.Addr(), t.ServerAddr(), f.LPort, 443, packet.FlagsPSHACK, f.lseq, f.rseq, CH(CrossBlockedDomain))
+	ch.IP.ID = t.Client.NextIPID()
+	frags, err := packet.FragmentCount(ch, 2)
+	if err != nil {
+		return "fragmentation failed"
+	}
+	for _, fr := range frags {
+		t.Client.Send(fr)
+	}
+	t.Sim.Run()
+	chDelivered := f.remoteDataCount() > 0
+	f.rseq += 0 // raw scripting: the downstream probe keeps the pre-CH ack
+	f.R(packet.FlagsPSHACK, []byte("SERVERHELLO"))
+	blocked := f.LastLocalRST() || anyRST(f.RemoteGot)
+	switch {
+	case chDelivered && !blocked:
+		return "evades (no reassembly before inspection)"
+	case blocked:
+		return "caught despite fragmentation"
+	default:
+		return "fragments dropped"
+	}
+}
+
+// probeResidualReused / Fresh / Expiry: the §3 methodology triple — trigger
+// on a port, then probe the same 4-tuple, a fresh port, and the same 4-tuple
+// after the hold expires.
+func probeResidualReused(m CensorModel) string {
+	t, port := residualTrigger(m)
+	if residualBenignBlocked(t, port) {
+		return "blocked (per-flow state persists)"
+	}
+	return "clean (no residual state)"
+}
+
+func probeResidualFresh(m CensorModel) string {
+	t, _ := residualTrigger(m)
+	if residualBenignBlocked(t, t.Client.EphemeralPort()) {
+		return "blocked (over-broad state)"
+	}
+	return "clean"
+}
+
+func probeResidualExpiry(m CensorModel) string {
+	t, port := residualTrigger(m)
+	if !residualBenignBlocked(t, port) {
+		return "n/a (no residual state to expire)"
+	}
+	t.Sim.RunUntil(t.Sim.Now() + 80*time.Second)
+	if residualBenignBlocked(t, port) {
+		return "still blocked after 80s"
+	}
+	return "blocked, then clean after 80s (hold expired)"
+}
+
+// residualTrigger fires the blocked ClientHello on a fresh port and returns
+// the testbed plus the now-tainted port.
+func residualTrigger(m CensorModel) (*topo.CensorTestbed, uint16) {
+	t := newCensorTestbed(m)
+	port := t.Client.EphemeralPort()
+	f := pinnedFlow(t, port)
+	handshake(f)
+	f.L(packet.FlagsPSHACK, CH(CrossBlockedDomain))
+	f.Close()
+	return t, port
+}
+
+// residualBenignBlocked runs a benign connection on the given port and
+// reports whether it still sees blocking (mirrors ResidualCensorship).
+func residualBenignBlocked(t *topo.CensorTestbed, port uint16) bool {
+	f := pinnedFlow(t, port)
+	defer f.Close()
+	handshake(f)
+	f.L(packet.FlagsPSHACK, CH(DomainControl))
+	f.R(packet.FlagsPSHACK, []byte("SERVERHELLO"))
+	return f.LastLocalRST()
+}
+
+// probeQUIC: a QUIC-shaped initial to udp/443. Only the TSPU models a QUIC
+// filter; every other censor forwards UDP it does not parse.
+func probeQUIC(m CensorModel) string {
+	t := newCensorTestbed(m)
+	got := 0
+	sport := t.Client.EphemeralPort()
+	t.Client.BindUDP(sport, func(p *packet.Packet) { got++ })
+	t.Client.SendUDP(t.ServerAddr(), sport, 443, quicTriggerPayload())
+	t.Sim.Run()
+	if got == 0 {
+		return "initial dropped (QUIC filter)"
+	}
+	return "passed (server flight received)"
+}
+
+// probeLocalizeTLS / probeLocalizeHTTP: TTL-limited trigger ladders (§7.1).
+// Each TTL gets a fresh testbed; the cell reports the first TTL at which the
+// trigger produced observable interference. The censor sits past two
+// routers, so an at-the-censor reaction first appears at TTL 3; a censor
+// whose only signal is an in-flight rewrite needs the rewritten packet to
+// *survive to the destination*, which takes one more hop.
+func probeLocalizeTLS(m CensorModel) string {
+	return localizeLadder(m, func(t *topo.CensorTestbed, f *Flow, ttl uint8) bool {
+		f.LTTL(ttl, packet.FlagsPSHACK, CH(CrossBlockedDomain))
+		interfered := f.LastLocalRST() || anyRST(f.RemoteGot)
+		f.R(packet.FlagsPSHACK, []byte("SERVERHELLO"))
+		return interfered || f.LastLocalRST()
+	}, 443)
+}
+
+func probeLocalizeHTTP(m CensorModel) string {
+	return localizeLadder(m, func(t *topo.CensorTestbed, f *Flow, ttl uint8) bool {
+		before := len(f.LocalGot)
+		f.LTTL(ttl, packet.FlagsPSHACK, httpx.FormatRequest("GET", CrossBlockedDomain, "/"))
+		return len(f.LocalGot) > before || anyRST(f.RemoteGot)
+	}, 80)
+}
+
+func localizeLadder(m CensorModel, trigger func(t *topo.CensorTestbed, f *Flow, ttl uint8) bool, port uint16) string {
+	for ttl := 1; ttl <= topo.CensorTestbedPathRouters+2; ttl++ {
+		t := newCensorTestbed(m)
+		f := NewFlowOn(t.Sim, t.Client, t.Server, port)
+		handshake(f)
+		hit := trigger(t, f, uint8(ttl))
+		f.Close()
+		if hit {
+			if ttl == topo.CensorTestbedHopTTL {
+				return fmt.Sprintf("first interference at probe ttl %d (censor link)", ttl)
+			}
+			return fmt.Sprintf("first interference at probe ttl %d (rewrite must reach destination)", ttl)
+		}
+	}
+	return "not localizable (no ttl-limited interference)"
+}

@@ -8,6 +8,7 @@ import (
 	"tspusim/internal/hostnet"
 	"tspusim/internal/packet"
 	"tspusim/internal/report"
+	"tspusim/internal/sim"
 	"tspusim/internal/topo"
 )
 
@@ -15,6 +16,12 @@ import (
 // reports whether a SYN/ACK came back. firstTTL/secondTTL control the
 // TTL-limited localization variant (0 = default).
 func fragProbe(lab *topo.Lab, st *hostnet.Stack, addr netip.Addr, port uint16, n int, secondTTL uint8) bool {
+	return fragProbeOn(lab.Sim, st, addr, port, n, secondTTL)
+}
+
+// fragProbeOn is fragProbe against any simulator — the cross-censor battery
+// runs it on per-cell testbeds that have no Lab.
+func fragProbeOn(s *sim.Sim, st *hostnet.Stack, addr netip.Addr, port uint16, n int, secondTTL uint8) bool {
 	sport := st.EphemeralPort()
 	got := false
 	st.RawBind(sport, func(p *packet.Packet) {
@@ -37,7 +44,7 @@ func fragProbe(lab *topo.Lab, st *hostnet.Stack, addr netip.Addr, port uint16, n
 	for _, f := range frags {
 		st.Send(f)
 	}
-	lab.Sim.Run()
+	s.Run()
 	return got
 }
 

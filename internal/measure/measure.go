@@ -19,6 +19,7 @@ import (
 
 	"tspusim/internal/hostnet"
 	"tspusim/internal/packet"
+	"tspusim/internal/sim"
 	"tspusim/internal/tlsx"
 	"tspusim/internal/topo"
 )
@@ -61,8 +62,11 @@ func CH(domain string) []byte {
 // Flow scripts raw TCP packets between a local stack and a remote stack with
 // full control over flags, exactly like the scapy-style scripting behind
 // §5.3. Both ends are raw-bound: neither stack applies any TCP processing.
+// The flow is censor-agnostic: it only needs the simulator driving the two
+// stacks, so the same scripting runs against a full Lab or the minimal
+// cross-censor testbed.
 type Flow struct {
-	lab    *topo.Lab
+	sim    *sim.Sim
 	Local  *hostnet.Stack
 	Remote *hostnet.Stack
 	LPort  uint16
@@ -76,8 +80,14 @@ type Flow struct {
 
 // NewFlow opens a scripted flow local:ephemeral <-> remote:rport.
 func NewFlow(lab *topo.Lab, local, remote *hostnet.Stack, rport uint16) *Flow {
+	return NewFlowOn(lab.Sim, local, remote, rport)
+}
+
+// NewFlowOn is NewFlow against any simulator — the entry point the
+// cross-censor battery uses, where there is no Lab.
+func NewFlowOn(s *sim.Sim, local, remote *hostnet.Stack, rport uint16) *Flow {
 	f := &Flow{
-		lab: lab, Local: local, Remote: remote,
+		sim: s, Local: local, Remote: remote,
 		LPort: local.EphemeralPort(), RPort: rport,
 		lseq: 1000, rseq: 5000,
 	}
@@ -111,7 +121,7 @@ func (f *Flow) LTTL(ttl uint8, flags packet.TCPFlags, payload []byte) {
 	p.IP.ID = f.Local.NextIPID()
 	f.Local.Send(p)
 	f.bump(&f.lseq, flags, payload)
-	f.lab.Sim.Run()
+	f.sim.Run()
 }
 
 // R sends a remote→local packet.
@@ -120,7 +130,7 @@ func (f *Flow) R(flags packet.TCPFlags, payload []byte) {
 	p.IP.ID = f.Remote.NextIPID()
 	f.Remote.Send(p)
 	f.bump(&f.rseq, flags, payload)
-	f.lab.Sim.Run()
+	f.sim.Run()
 }
 
 func (f *Flow) bump(seq *uint32, flags packet.TCPFlags, payload []byte) {
@@ -132,7 +142,7 @@ func (f *Flow) bump(seq *uint32, flags packet.TCPFlags, payload []byte) {
 
 // Sleep advances virtual time.
 func (f *Flow) Sleep(d time.Duration) {
-	f.lab.Sim.RunUntil(f.lab.Sim.Now() + d)
+	f.sim.RunUntil(f.sim.Now() + d)
 }
 
 // LastLocalRST reports whether the most recent local arrival was an RST.

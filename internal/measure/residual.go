@@ -34,7 +34,7 @@ func ResidualCensorship(lab *topo.Lab) ResidualResult {
 		f := NewFlow(lab, v.Stack, lab.US1, 443)
 		// Pin the port by rebinding the flow's local port.
 		f.Close()
-		f = &Flow{lab: lab, Local: v.Stack, Remote: lab.US1, LPort: port, RPort: 443}
+		f = &Flow{sim: lab.Sim, Local: v.Stack, Remote: lab.US1, LPort: port, RPort: 443}
 		f.lseq, f.rseq = 1000, 5000
 		v.Stack.RawBind(port, func(p *packet.Packet) { f.LocalGot = append(f.LocalGot, p) })
 		lab.US1.RawBind(443, func(p *packet.Packet) {
@@ -53,7 +53,7 @@ func ResidualCensorship(lab *topo.Lab) ResidualResult {
 
 	// Trigger on a specific port.
 	port := v.Stack.EphemeralPort()
-	fTrig := &Flow{lab: lab, Local: v.Stack, Remote: lab.US1, LPort: port, RPort: 443, lseq: 1000, rseq: 5000}
+	fTrig := &Flow{sim: lab.Sim, Local: v.Stack, Remote: lab.US1, LPort: port, RPort: 443, lseq: 1000, rseq: 5000}
 	v.Stack.RawBind(port, func(p *packet.Packet) { fTrig.LocalGot = append(fTrig.LocalGot, p) })
 	lab.US1.RawBind(443, func(p *packet.Packet) {})
 	fTrig.L(packet.FlagSYN, nil)

@@ -1,0 +1,153 @@
+package topo
+
+import (
+	"net/netip"
+	"time"
+
+	"tspusim/internal/censor"
+	"tspusim/internal/dnsx"
+	"tspusim/internal/hostnet"
+	"tspusim/internal/httpx"
+	"tspusim/internal/netem"
+	"tspusim/internal/packet"
+	"tspusim/internal/sim"
+)
+
+// The cross-censor battery needs a topology that is identical for every
+// model under test: one client, three routers, one server, and the censor
+// under test on the middle link. Routers decrement TTL and answer with ICMP
+// Time Exceeded, so TTL-limited localization works exactly as on the full
+// Lab; the fixed three-router path makes the expected hop answers constants.
+
+// Censor-testbed constants, shared with the probe battery so cell values
+// are self-describing.
+const (
+	// CensorTestbedLocalDir is the client→server direction on the censor's
+	// link in every testbed BuildCensorTestbed assembles. Models with
+	// directional behavior (TSPU, the IN profiles) are built against it.
+	CensorTestbedLocalDir = netem.AtoB
+	// CensorTestbedHopTTL is the smallest client TTL at which a probe
+	// crosses the censor link (it must survive routers r1 and r2).
+	CensorTestbedHopTTL = 3
+	// CensorTestbedPathRouters is the router count between client and
+	// server.
+	CensorTestbedPathRouters = 3
+)
+
+// Well-known testbed addresses.
+var (
+	// CensorTestbedRealAnswer is what the server-side resolver returns for
+	// every name — the "legitimate" DNS answer forged injections race.
+	CensorTestbedRealAnswer = packet.MustAddr("203.0.114.99")
+)
+
+// CensorTestbed is the minimal in-path environment the cross-censor probe
+// battery drives.
+type CensorTestbed struct {
+	Sim    *sim.Sim
+	Net    *netem.Network
+	Client *hostnet.Stack
+	Server *hostnet.Stack
+	// Censor is the model under test, attached to Link.
+	Censor censor.Censor
+	// Link is the censor-bearing middle link (r2–r3).
+	Link *netem.Link
+	// ServerHTTPHosts records Host headers the origin actually served —
+	// ground truth for "did the request reach the server".
+	ServerHTTPHosts []string
+}
+
+// BuildCensorTestbed assembles client — r1 — r2 —[censor]— r3 — server on a
+// fresh Sim and attaches the built censor to the middle link. The censor is
+// constructed via a callback because stateful models (the TSPU) must be
+// built on the testbed's own simulator. The server answers TCP 443 with a
+// ServerHello-shaped blob, serves HTTP on 80, echoes on 7, answers udp/443
+// so QUIC drops are observable, and resolves every DNS name to
+// CensorTestbedRealAnswer on 53.
+func BuildCensorTestbed(build func(s *sim.Sim) censor.Censor) *CensorTestbed {
+	s := sim.New()
+	n := netem.New(s)
+	c := build(s)
+	t := &CensorTestbed{Sim: s, Net: n, Censor: c}
+
+	client := n.AddHost("cx-client")
+	server := n.AddHost("cx-server")
+	r1 := n.AddRouter("cx-r1")
+	r2 := n.AddRouter("cx-r2")
+	r3 := n.AddRouter("cx-r3")
+
+	delay := defaultCensorDelay
+	pair := 0
+	link := func(from, to *netem.Node) (*netem.Link, *netem.Iface, *netem.Iface) {
+		a := netip.AddrFrom4([4]byte{10, 254, byte(pair), 1})
+		b := netip.AddrFrom4([4]byte{10, 254, byte(pair), 2})
+		pair++
+		fi := from.AddIface(a)
+		ti := to.AddIface(b)
+		return n.Connect(fi, ti, delay), fi, ti
+	}
+
+	ci := client.AddIface(packet.MustAddr("10.9.0.2"))
+	r1c := r1.AddIface(packet.MustAddr("10.9.0.1"))
+	n.Connect(ci, r1c, delay)
+	client.AddDefaultRoute(ci)
+
+	_, r1up, r2down := link(r1, r2)
+	censorLink, r2up, r3down := link(r2, r3)
+	t.Link = censorLink
+
+	si := server.AddIface(packet.MustAddr("203.0.114.10"))
+	r3s := r3.AddIface(packet.MustAddr("203.0.114.1"))
+	n.Connect(si, r3s, delay)
+	server.AddDefaultRoute(si)
+
+	clientNet := netem.MustPrefix("10.9.0.0/24")
+	r1.AddDefaultRoute(r1up)
+	r1.AddRoute(clientNet, r1c)
+	r2.AddDefaultRoute(r2up)
+	r2.AddRoute(clientNet, r2down)
+	r3.AddRoute(netem.MustPrefix("203.0.114.0/24"), r3s)
+	r3.AddRoute(clientNet, r3down)
+
+	censorLink.Attach(c)
+
+	t.Client = hostnet.NewStack(n, client)
+	t.Server = hostnet.NewStack(n, server)
+
+	// TLS-ish origin: any ClientHello gets a ServerHello-shaped reply.
+	t.Server.Listen(443, hostnet.ListenOptions{
+		OnData: func(conn *hostnet.TCPConn, data []byte) {
+			conn.Send([]byte("SERVERHELLO-CERTIFICATE-DONE"))
+		},
+	})
+	// HTTP origin, recording which Hosts were actually served.
+	httpx.Serve(t.Server, 80, func(req *httpx.Request) *httpx.Response {
+		t.ServerHTTPHosts = append(t.ServerHTTPHosts, req.Host)
+		return &httpx.Response{
+			Status: 200, Reason: "OK",
+			Headers: map[string]string{"Server": "origin"},
+			Body:    "origin content of " + req.Host,
+		}
+	})
+	// Echo service for fragment probes (mirrors the §7.2 scan targets).
+	t.Server.Listen(7, hostnet.ListenOptions{
+		OnData: func(conn *hostnet.TCPConn, data []byte) { conn.Send(data) },
+	})
+	// QUIC-ish origin: any udp/443 datagram gets a short server flight, so
+	// "initial dropped" and "initial passed" are distinguishable.
+	t.Server.BindUDP(443, func(p *packet.Packet) {
+		t.Server.SendUDP(p.IP.Src, 443, p.UDP.SrcPort, []byte("QUIC-SERVER-FLIGHT"))
+	})
+	// Authoritative-for-everything resolver.
+	dnsx.NewServer(t.Server, func(name string) []netip.Addr {
+		return []netip.Addr{CensorTestbedRealAnswer}
+	})
+	return t
+}
+
+// defaultCensorDelay keeps testbed round trips tiny so per-cell testbeds are
+// cheap; probes depend only on ordering, never on absolute latency.
+const defaultCensorDelay = 100 * time.Microsecond
+
+// ServerAddr returns the origin's address.
+func (t *CensorTestbed) ServerAddr() netip.Addr { return t.Server.Addr() }

@@ -3,6 +3,7 @@ package tspu
 import (
 	"time"
 
+	"tspusim/internal/censor"
 	"tspusim/internal/netem"
 	"tspusim/internal/packet"
 	"tspusim/internal/quicx"
@@ -213,6 +214,26 @@ func (d *Device) Stats() Stats {
 	}
 	return st
 }
+
+// Counters implements censor.Censor: the generic action-counter view of
+// Stats, so the cross-censor probe battery can read trigger/drop/rewrite/
+// throttle state without knowing TSPU block types.
+func (d *Device) Counters() censor.Counters {
+	st := d.Stats()
+	c := censor.Counters{
+		Dropped:   st.Dropped,
+		Rewritten: st.Rewritten,
+		Throttled: st.Throttled,
+	}
+	for _, n := range st.Triggers {
+		c.ContentTriggers += n
+	}
+	return c
+}
+
+// The TSPU device is one censor model among N (ROADMAP item 4); the probe
+// battery in internal/measure drives it through this interface.
+var _ censor.Censor = (*Device)(nil)
 
 // ConntrackSize exposes the flow-table size for resource experiments.
 func (d *Device) ConntrackSize() int { return d.ct.size() }

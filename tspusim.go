@@ -301,6 +301,15 @@ func Experiments() []Experiment {
 			},
 		},
 		{
+			ID: "crosscensor", Title: "Cross-censor fingerprint matrix (TSPU vs TM vs IN vs ISP DPI)", Paper: "§3, §5-§7 vs arXiv:2304.04835, arXiv:1808.01708",
+			Run: func(lab *Lab) string {
+				// Runs on its own per-cell testbeds; the Lab contributes only
+				// the seed, so the matrix is identical at any -endpoints or
+				// -workers setting.
+				return measure.CrossCensor(lab.Opts.Seed).Render()
+			},
+		},
+		{
 			ID: "evolve", Title: "Geneva-style automated evasion search", Paper: "§8 / [38]",
 			Run: func(lab *Lab) string {
 				return evolve.Render(evolve.Search(lab, lab.US1, evolve.SearchOptions{}))

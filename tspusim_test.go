@@ -11,7 +11,7 @@ func TestExperimentRegistry(t *testing.T) {
 		"table1", "table2", "table3", "table4", "table5", "table7", "table8",
 		"fig2", "fig3", "fig4", "fig6", "fig7", "fig8", "fig9", "fig10",
 		"fig12", "fig13", "fig14", "sni3", "localize", "usval", "circum",
-		"observatory", "timeline", "exhaust", "exhaustscale", "evolve", "residual", "webconn", "propagation", "asymmetry", "devices",
+		"observatory", "timeline", "exhaust", "exhaustscale", "evolve", "residual", "webconn", "propagation", "asymmetry", "devices", "crosscensor",
 	}
 	have := map[string]bool{}
 	for _, id := range ids {
