@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: all check vet lint vet-hotpath vet-contracts pooldebug escapes escapes-update build test race race-focus race-lanes conformance cover bench bench-all bench-update bench-throughput bench-throughput-update fleet-smoke fuzz-smoke crosscensor
+.PHONY: all check vet lint vet-hotpath vet-contracts pooldebug escapes escapes-update build test race race-focus race-lanes conformance cover bench bench-all bench-update bench-throughput bench-throughput-update fleet-smoke fuzz-smoke crosscensor armsrace
 
 # Benchmarks gated by the regression harness (hot-path device benches, fleet
 # orchestration, and the ablations). BENCH_COUNT samples each; perfstat takes
@@ -22,7 +22,7 @@ ENGINE_BENCH_PATTERN = ^(BenchmarkEngine_Passthrough$$|BenchmarkEngine_TLSMix$$|
 
 all: check
 
-check: vet lint vet-contracts escapes build test conformance race race-lanes crosscensor
+check: vet lint vet-contracts escapes build test conformance race race-lanes crosscensor armsrace
 
 vet:
 	$(GO) vet ./...
@@ -164,9 +164,24 @@ crosscensor:
 	diff /tmp/crosscensor-w1.txt /tmp/crosscensor-w4.txt && echo "crosscensor matrix worker-independent"
 	$(GO) test -count=1 -run 'TestCrossCensor' . ./internal/measure
 
+# armsrace is the arms-race conformance smoke: the evasion-search-vs-
+# counter-evolving-censor ledger must be byte-identical across worker counts
+# through the experiment surface, match the committed golden, and every
+# golden trace under testdata/evasions/ must replay byte-identically from
+# nothing but its own header.
+armsrace:
+	$(GO) build -o /tmp/tspu-lab ./cmd/tspu-lab
+	/tmp/tspu-lab -exp armsrace -seeds 2 -workers 1 -endpoints 20 -ases 2 -echo 5 -tranco 50 -registry 50 > /tmp/armsrace-w1.txt
+	/tmp/tspu-lab -exp armsrace -seeds 2 -workers 4 -endpoints 20 -ases 2 -echo 5 -tranco 50 -registry 50 > /tmp/armsrace-w4.txt
+	diff /tmp/armsrace-w1.txt /tmp/armsrace-w4.txt && echo "armsrace ledger worker-independent"
+	$(GO) test -count=1 -run 'TestArmsRace|TestEvasionCorpus' .
+	$(GO) test -count=1 ./internal/armsrace
+
 # 30 seconds of native fuzzing over the wire parsers that face attacker-
-# controlled bytes (IP/TCP, ClientHello, HTTP response).
+# controlled bytes (IP/TCP, ClientHello, HTTP response). FuzzGenome guards
+# the evasion-corpus serialization contract (Decode/String round-trip).
 fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz '^FuzzParse$$' -fuzztime 10s ./internal/packet
 	$(GO) test -run '^$$' -fuzz '^FuzzParseClientHello$$' -fuzztime 10s ./internal/tlsx
 	$(GO) test -run '^$$' -fuzz '^FuzzParseResponse$$' -fuzztime 10s ./internal/httpx
+	$(GO) test -run '^$$' -fuzz '^FuzzGenome$$' -fuzztime 10s ./internal/evolve

@@ -201,7 +201,7 @@ func Evaluate(lab *topo.Lab, vantage string, server *hostnet.Stack, strat Strate
 	if strat.Dial != nil {
 		strat.Dial(&dialOpts)
 	}
-	ch := realisticCH(target.Domain)
+	ch := RealisticCH(target.Domain)
 	if strat.BuildCH != nil {
 		ch = strat.BuildCH(target.Domain)
 	}
@@ -237,11 +237,12 @@ func Evaluate(lab *topo.Lab, vantage string, server *hostnet.Stack, strat Strate
 	return evaded
 }
 
-// realisticCH builds a browser-sized ClientHello (~330 bytes, ALPN plus a
+// RealisticCH builds a browser-sized ClientHello (~330 bytes, ALPN plus a
 // trailing padding extension). Size matters: the brdgrd small-window
 // strategy only works because real ClientHellos exceed the advertised
-// window and must be segmented.
-func realisticCH(domain string) []byte {
+// window and must be segmented; the arms-race harness reuses it as the
+// default trigger payload so discovered strategies face the same stimulus.
+func RealisticCH(domain string) []byte {
 	return (&tlsx.ClientHelloSpec{
 		ServerName: domain,
 		ALPN:       []string{"h2", "http/1.1"},

@@ -269,15 +269,23 @@ type SearchOptions struct {
 	Vantage     string
 }
 
+// sortDiscovered orders candidates by fitness (descending), then simplicity,
+// keeping discovery order among ties.
+func sortDiscovered(ds []Discovered) {
+	sort.SliceStable(ds, func(i, j int) bool {
+		if ds[i].Fitness != ds[j].Fitness {
+			return ds[i].Fitness > ds[j].Fitness
+		}
+		return ds[i].Genome.Complexity() < ds[j].Genome.Complexity()
+	})
+}
+
 // Search runs the genetic search against the lab and returns all evaluated
-// candidates sorted by fitness (descending), then simplicity.
+// candidates sorted by fitness (descending), then simplicity. Full-fitness
+// winners are ddmin-shrunk to one-minimal genomes before reporting, so the
+// top of the list names the necessary mechanisms, not whatever junk genes a
+// random draw happened to carry along.
 func Search(lab *topo.Lab, server *hostnet.Stack, opts SearchOptions) []Discovered {
-	if opts.Population == 0 {
-		opts.Population = 14
-	}
-	if opts.Generations == 0 {
-		opts.Generations = 6
-	}
 	if opts.Vantage == "" {
 		opts.Vantage = topo.ERTelecom
 	}
@@ -298,44 +306,43 @@ func Search(lab *topo.Lab, server *hostnet.Stack, opts SearchOptions) []Discover
 		return n
 	}
 
-	seen := map[string]bool{}
-	var all []Discovered
-	eval := func(g Genome) Discovered {
-		d := Discovered{Genome: g, Fitness: fitness(g)}
-		if !seen[g.String()] {
-			seen[g.String()] = true
-			all = append(all, d)
+	all := SearchBatch(r, opts, func(gs []Genome) []int {
+		// The lab is shared mutable state, so candidates — duplicates
+		// included — are evaluated strictly in slice order, preserving the
+		// exact evaluation sequence of the pre-batch search.
+		fits := make([]int, len(gs))
+		for i, g := range gs {
+			fits[i] = fitness(g)
 		}
-		return d
-	}
-
-	pop := make([]Discovered, 0, opts.Population)
-	for i := 0; i < opts.Population; i++ {
-		pop = append(pop, eval(Random(r)))
-	}
-	for gen := 1; gen < opts.Generations; gen++ {
-		sort.SliceStable(pop, func(i, j int) bool {
-			if pop[i].Fitness != pop[j].Fitness {
-				return pop[i].Fitness > pop[j].Fitness
-			}
-			return pop[i].Genome.Complexity() < pop[j].Genome.Complexity()
-		})
-		elite := pop[:len(pop)/2]
-		next := append([]Discovered{}, elite...)
-		for len(next) < opts.Population {
-			parent := elite[r.Intn(len(elite))].Genome
-			next = append(next, eval(parent.Mutate(r)))
-		}
-		pop = next
-	}
-
-	sort.SliceStable(all, func(i, j int) bool {
-		if all[i].Fitness != all[j].Fitness {
-			return all[i].Fitness > all[j].Fitness
-		}
-		return all[i].Genome.Complexity() < all[j].Genome.Complexity()
+		return fits
 	})
-	return all
+
+	// Shrink after the search so the extra evaluations never perturb the
+	// evaluation sequence the search itself saw. A memo keeps the repeated
+	// sub-genome probes cheap: shrunk winners funnel through the same small
+	// set of single-gene forms.
+	memo := map[Genome]int{}
+	memoFit := func(g Genome) int {
+		if f, ok := memo[g]; ok {
+			return f
+		}
+		f := fitness(g)
+		memo[g] = f
+		return f
+	}
+	out := make([]Discovered, 0, len(all))
+	seen := map[string]bool{}
+	for _, d := range all {
+		if d.Fitness == len(targets) {
+			d.Genome = Shrink(d.Genome, func(g Genome) bool { return memoFit(g) == len(targets) })
+		}
+		if !seen[d.Genome.String()] {
+			seen[d.Genome.String()] = true
+			out = append(out, d)
+		}
+	}
+	sortDiscovered(out)
+	return out
 }
 
 // Render summarizes a search.

@@ -1,0 +1,115 @@
+package evolve
+
+import (
+	"testing"
+
+	"tspusim/internal/sim"
+)
+
+// FuzzGenome pins the corpus serialization contract: any string Decode
+// accepts round-trips through String() unchanged, mutation is a pure
+// function of (genome, rand seed), and no decode/encode/mutate chain
+// panics. The seed corpus is distilled from the smallest winning genomes the
+// arms race pins — the forms the replay suite parses out of
+// testdata/evasions, so a serialization regression breaks here before it
+// breaks a golden.
+func FuzzGenome(f *testing.F) {
+	for _, s := range []string{
+		"noop",
+		"segment(64)",
+		"fragment(64)",
+		"pad-before-sni(600)",
+		"prepend-record",
+		"junk(ttl=3)",
+		"srv-window(100)",
+		"srv-split",
+		"srv-delay(61s)",
+		"segment(16)+prepend-record",
+		"fragment(16)+junk(ttl=2)",
+		"segment(64)+fragment(64)+pad-before-sni(50)+prepend-record",
+		"srv-window(50)+srv-split+srv-delay(70s)",
+		"segment(0)",
+		"segment(-1)",
+		"segment(64)+segment(64)",
+		"pad-before-sni(99999999)",
+		"srv-delay(61)",
+		"unknown-gene",
+	} {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, s string) {
+		g, err := Decode(s)
+		if err != nil {
+			return // malformed input: rejection is the contract
+		}
+		// Decode ∘ String is the identity on decoded genomes.
+		back, err := Decode(g.String())
+		if err != nil {
+			t.Fatalf("String() of decoded genome does not re-decode: %q -> %q: %v", s, g.String(), err)
+		}
+		if back != g {
+			t.Fatalf("round trip drifted: %q -> %+v -> %q -> %+v", s, g, g.String(), back)
+		}
+		// Mutation under equal rand streams is deterministic.
+		if g.Mutate(sim.NewRand(7)) != g.Mutate(sim.NewRand(7)) {
+			t.Fatalf("Mutate not deterministic for %q", s)
+		}
+		// A mutation chain stays canonical: every intermediate form
+		// re-decodes to itself (mutated values are always the generator's
+		// canonical multiples).
+		r := sim.NewRand(uint64(len(s)) + 1)
+		m := g
+		for i := 0; i < numGenes; i++ {
+			m = m.Mutate(r)
+			d, err := Decode(m.String())
+			if err != nil || d != m {
+				t.Fatalf("mutated form not canonical: %q (from %q): %v", m.String(), s, err)
+			}
+		}
+		// Shrink under a pure predicate terminates and stays decodable.
+		shr := Shrink(g, func(c Genome) bool { return c.Complexity() >= g.Complexity()-1 })
+		if _, err := Decode(shr.String()); err != nil {
+			t.Fatalf("shrunk form not decodable: %q", shr.String())
+		}
+	})
+}
+
+func TestDecodeRejectsMalformed(t *testing.T) {
+	for _, s := range []string{
+		"", "segment()", "segment(x)", "segment(-4)", "segment(0)",
+		"segment(64)+segment(32)", "prepend-record+prepend-record",
+		"srv-delay(61)", "srv-delay(s)", "pad-before-sni(1048577)",
+		"segment(007)", "noop+segment(64)", "segment(64)x",
+	} {
+		if g, err := Decode(s); err == nil {
+			t.Errorf("Decode(%q) accepted malformed input as %+v", s, g)
+		}
+	}
+}
+
+func TestDecodeRoundTripsRandom(t *testing.T) {
+	r := sim.NewRand(41)
+	for i := 0; i < 200; i++ {
+		g := Random(r)
+		d, err := Decode(g.String())
+		if err != nil || d != g {
+			t.Fatalf("Random genome %q did not round-trip: %+v %v", g.String(), d, err)
+		}
+	}
+}
+
+func TestShrinkFindsMinimalForm(t *testing.T) {
+	// Predicate: the genome still carries a segmentation gene. Everything
+	// else is junk and must be shrunk away.
+	g := Genome{SegmentSize: 64, JunkTTL: 3, PadBeforeSNI: 100, ServerSplit: true}
+	min := Shrink(g, func(c Genome) bool { return c.SegmentSize > 0 })
+	if min != (Genome{SegmentSize: 64}) {
+		t.Fatalf("shrink kept junk genes: %q", min.String())
+	}
+	// The all-zero genome is never offered even under an always-true
+	// predicate: one gene must survive.
+	min = Shrink(g, func(Genome) bool { return true })
+	if min.IsNoop() || min.Complexity() != 1 {
+		t.Fatalf("shrink under true-predicate should stop at one gene, got %q", min.String())
+	}
+}

@@ -57,14 +57,16 @@ type CensorTestbed struct {
 	ServerHTTPHosts []string
 }
 
-// BuildCensorTestbed assembles client — r1 — r2 —[censor]— r3 — server on a
-// fresh Sim and attaches the built censor to the middle link. The censor is
-// constructed via a callback because stateful models (the TSPU) must be
-// built on the testbed's own simulator. The server answers TCP 443 with a
-// ServerHello-shaped blob, serves HTTP on 80, echoes on 7, answers udp/443
-// so QUIC drops are observable, and resolves every DNS name to
-// CensorTestbedRealAnswer on 53.
-func BuildCensorTestbed(build func(s *sim.Sim) censor.Censor) *CensorTestbed {
+// BuildCensorTestbedBare assembles client — r1 — r2 —[censor]— r3 — server
+// on a fresh Sim and attaches the built censor to the middle link, but
+// installs no services: callers that need genome-controlled listeners (the
+// arms-race harness mutates ListenOptions per trial) bring their own. The
+// censor is constructed via a callback because stateful models (the TSPU)
+// must be built on the testbed's own simulator. Each pre constructor is
+// attached to the censor link *before* the censor, in order — the slot for
+// counter-evolved watcher middleboxes (fragment reassembly, stream scan)
+// whose Pipe.Inject re-emissions must re-enter the chain at the censor.
+func BuildCensorTestbedBare(build func(s *sim.Sim) censor.Censor, pre ...func(s *sim.Sim) netem.Middlebox) *CensorTestbed {
 	s := sim.New()
 	n := netem.New(s)
 	c := build(s)
@@ -109,10 +111,22 @@ func BuildCensorTestbed(build func(s *sim.Sim) censor.Censor) *CensorTestbed {
 	r3.AddRoute(netem.MustPrefix("203.0.114.0/24"), r3s)
 	r3.AddRoute(clientNet, r3down)
 
+	for _, mk := range pre {
+		censorLink.Attach(mk(s))
+	}
 	censorLink.Attach(c)
 
 	t.Client = hostnet.NewStack(n, client)
 	t.Server = hostnet.NewStack(n, server)
+	return t
+}
+
+// BuildCensorTestbed is BuildCensorTestbedBare plus the probe battery's
+// standard services: the server answers TCP 443 with a ServerHello-shaped
+// blob, serves HTTP on 80, echoes on 7, answers udp/443 so QUIC drops are
+// observable, and resolves every DNS name to CensorTestbedRealAnswer on 53.
+func BuildCensorTestbed(build func(s *sim.Sim) censor.Censor) *CensorTestbed {
+	t := BuildCensorTestbedBare(build)
 
 	// TLS-ish origin: any ClientHello gets a ServerHello-shaped reply.
 	t.Server.Listen(443, hostnet.ListenOptions{

@@ -24,6 +24,7 @@ import (
 	"sort"
 	"time"
 
+	"tspusim/internal/armsrace"
 	"tspusim/internal/circumvent"
 	"tspusim/internal/evolve"
 	"tspusim/internal/fleet"
@@ -307,6 +308,17 @@ func Experiments() []Experiment {
 				// the seed, so the matrix is identical at any -endpoints or
 				// -workers setting.
 				return measure.CrossCensor(lab.Opts.Seed).Render()
+			},
+		},
+		{
+			ID: "armsrace", Title: "Arms race: evasion search vs. counter-evolving censors", Paper: "§8 / [38] + arXiv:2304.04835, arXiv:1808.01708",
+			Run: func(lab *Lab) string {
+				// Like crosscensor, the race is a conformance artifact: every
+				// trial runs on its own testbed derived from the fixed corpus
+				// seed, so the ledger is byte-identical for every lab seed,
+				// replica, and worker count.
+				led := armsrace.Run(armsrace.DefaultConfig())
+				return led.Render() + "\n" + armsrace.RunPortability(led).Render()
 			},
 		},
 		{

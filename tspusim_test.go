@@ -12,6 +12,7 @@ func TestExperimentRegistry(t *testing.T) {
 		"fig2", "fig3", "fig4", "fig6", "fig7", "fig8", "fig9", "fig10",
 		"fig12", "fig13", "fig14", "sni3", "localize", "usval", "circum",
 		"observatory", "timeline", "exhaust", "exhaustscale", "evolve", "residual", "webconn", "propagation", "asymmetry", "devices", "crosscensor",
+		"armsrace",
 	}
 	have := map[string]bool{}
 	for _, id := range ids {
