@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: all check vet lint vet-hotpath vet-contracts pooldebug escapes escapes-update build test race race-focus race-lanes conformance cover bench bench-all bench-update bench-throughput bench-throughput-update fleet-smoke fuzz-smoke crosscensor armsrace
+.PHONY: all check vet lint vet-unitchecker vet-hotpath vet-contracts pooldebug escapes escapes-update build test race race-focus race-lanes conformance cover bench bench-all bench-update bench-throughput bench-throughput-update fleet-smoke fuzz-smoke crosscensor armsrace
 
 # Benchmarks gated by the regression harness (hot-path device benches, fleet
 # orchestration, and the ablations). BENCH_COUNT samples each; perfstat takes
@@ -22,19 +22,32 @@ ENGINE_BENCH_PATTERN = ^(BenchmarkEngine_Passthrough$$|BenchmarkEngine_TLSMix$$|
 
 all: check
 
-check: vet lint vet-contracts escapes build test conformance race race-lanes crosscensor armsrace
+check: vet lint vet-unitchecker vet-contracts escapes build test conformance race race-lanes crosscensor armsrace
 
 vet:
 	$(GO) vet ./...
 
 # tspu-vet enforces the determinism contract (no wall clock, no ambient
-# randomness, no map-order-dependent output) and the hot-path contract
-# (no allocating constructs reachable from a //tspuvet:hotpath root, sound
-# sync in the worker pool). Exceptions need a reasoned //tspuvet:allow
+# randomness, no map-order-dependent output), the hot-path contract (no
+# allocating constructs reachable from a //tspuvet:hotpath root, sound sync
+# in the worker pool), and the state-machine contract (switches over
+# //tspuvet:closedenum types stay exhaustive). The analysis is whole-program
+# by default: packages are checked in dependency order with facts (purity
+# taint, packet retention, lane entry points, enum membership) threaded
+# across package boundaries. Exceptions need a reasoned //tspuvet:allow
 # directive, and unused directives fail the build.
 lint:
 	$(GO) build -o /tmp/tspu-vet ./cmd/tspu-vet
 	/tmp/tspu-vet ./...
+
+# vet-unitchecker runs the identical analyzer suite through the go vet
+# -vettool protocol: the go command schedules one unit per package (test
+# files included) and the facts travel between units as .vetx files instead
+# of in memory. Keeping this lane green proves the two fact transports stay
+# equivalent.
+vet-unitchecker:
+	$(GO) build -o /tmp/tspu-vet ./cmd/tspu-vet
+	$(GO) vet -vettool=/tmp/tspu-vet ./...
 
 # vet-hotpath runs only the hot-path allocation/purity analyzer — the fast
 # inner loop while working on per-packet code.

@@ -28,6 +28,7 @@ import (
 	"tspusim/internal/topo"
 )
 
+//tspuvet:impure command-line driver; wall time reaches only stderr progress and metrics
 func main() {
 	var (
 		exp       = flag.String("exp", "all", "comma-separated experiment IDs, or 'all'")
@@ -130,6 +131,8 @@ func main() {
 // runFleet drives the parallel multi-seed path and reports whether any job
 // failed. The aggregate report goes to stdout; progress and timing metrics
 // go to stderr so stdout stays byte-identical across worker counts.
+//
+//tspuvet:impure fleet metrics and progress are wall-clocked diagnostics on stderr; stdout is seed-pure
 func runFleet(ids []string, opts tspusim.Options, seeds, shards, workers int, timeout time.Duration, outDir string) bool {
 	cfg := fleet.Config{
 		Workers: workers,

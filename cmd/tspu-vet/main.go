@@ -2,17 +2,26 @@
 // contracts of DESIGN.md: every experiment's output must be a pure function
 // of the lab seed, the per-packet path must not allocate, a middlebox must
 // not retain a packet it did not clone, lane-parallel code must stay inside
-// its own shard, and pooled records must not be touched after release. It
-// runs nine analyzers — walltime, globalrand, maporder, hotpath, synccheck,
-// retaincheck, lanecheck, poolcheck, allowdirective — over the module (see
-// internal/lint for what each forbids and why).
+// its own shard, pooled records must not be touched after release, and
+// switches over closed state enums must stay exhaustive. It runs ten
+// analyzers — walltime, globalrand, maporder, hotpath, synccheck,
+// retaincheck, lanecheck, poolcheck, statecheck, allowdirective — over the
+// module (see internal/lint for what each forbids and why).
 //
-// Standalone, over package patterns (the make lint target):
+// The analysis is whole-program: analyzers export facts about package-level
+// objects (purity taint, allocation summaries, packet retention, lane entry
+// points, closed-enum membership) that are threaded through the packages in
+// dependency order, so a contract violation two packages away surfaces at
+// the call site that commits it.
+//
+// Standalone, over package patterns (the make lint target; facts travel
+// in memory):
 //
 //	tspu-vet ./...
 //	tspu-vet -maporder=false ./internal/measure
 //
-// Or as a vet tool, which also covers test files:
+// Or as a vet tool, which also covers test files (facts travel between
+// units as the .vetx files the go command schedules):
 //
 //	go vet -vettool=$(which tspu-vet) ./...
 //

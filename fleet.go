@@ -58,6 +58,8 @@ func JobRunner(base Options) fleet.RunFunc {
 // configured by cfg. base.Seed is the root seed every job seed is derived
 // from; the returned report's RenderAggregate is identical for any
 // cfg.Workers value.
+//
+//tspuvet:impure fleet orchestration reads wall time for worker metrics; aggregate report bytes are seed-pure
 func RunFleet(base Options, ids []string, seeds, shards int, cfg fleet.Config) *fleet.Report {
 	jobs := fleet.Plan(base.Seed, ids, seeds, shards)
 	return fleet.NewRunner(cfg).Run(jobs, JobRunner(base))

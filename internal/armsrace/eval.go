@@ -183,6 +183,8 @@ func newEvalCtx(fam Family, applied []Countermeasure, workers int, label string)
 }
 
 // evalAll runs every uncached, non-noop genome as one fleet batch.
+//
+//tspuvet:impure the fleet runner reads wall time for worker metrics; verdict bytes are seed-pure
 func (ec *evalCtx) evalAll(gs []evolve.Genome) {
 	var uniq []evolve.Genome
 	batched := make(map[evolve.Genome]bool)

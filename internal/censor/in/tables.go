@@ -8,6 +8,8 @@ import (
 )
 
 // InjectAction is what a triggered profile fabricates.
+//
+//tspuvet:closedenum
 type InjectAction int
 
 // Actions observed across the measured ISPs (§5).

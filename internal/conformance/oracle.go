@@ -375,7 +375,7 @@ func (o *Oracle) stepTCP(s Step) []string {
 			}
 			o.throttled++
 			return nil
-		default: // enforceDropBoth
+		case enforceDropBoth:
 			o.dropped++
 			return nil
 		}

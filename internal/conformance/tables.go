@@ -10,6 +10,8 @@ import "time"
 // to its paper table or figure.
 
 // oState is the oracle's connection-tracking state (§5.3.3).
+//
+//tspuvet:closedenum
 type oState int
 
 // Oracle conntrack states.
@@ -22,6 +24,8 @@ const (
 // oEvent classifies one observed TCP segment for the transition table. The
 // classification mirrors Table 8's vocabulary: SYN/ACK outranks SYN outranks
 // ACK; anything else (bare FIN, RST, NULL) carries no transition.
+//
+//tspuvet:closedenum
 type oEvent int
 
 // Oracle conntrack events.
@@ -33,6 +37,8 @@ const (
 )
 
 // oBlock is the oracle's blocking-behavior identifier (§5.2's six behaviors).
+//
+//tspuvet:closedenum
 type oBlock int
 
 // Oracle block types, in the fixed order state lines report them.
@@ -152,6 +158,8 @@ var ctInitialState = map[oEvent]oState{
 }
 
 // enforceKind is how an installed blocking state treats subsequent packets.
+//
+//tspuvet:closedenum
 type enforceKind int
 
 // Enforcement mechanisms (§5.2).

@@ -5,10 +5,11 @@
 // dependency-free (see DESIGN.md), and the build environment pins that down
 // hard, so the framework lives here instead of in go.mod.
 //
-// Only the subset the determinism suite needs is implemented: single-package
-// syntax+types passes with positional diagnostics. Facts, SSA, and
-// cross-package result plumbing are out of scope — every tspu-vet analyzer
-// is a pure function of one type-checked package.
+// Only the subset the determinism suite needs is implemented: syntax+types
+// passes with positional diagnostics, plus object facts (see Fact) so the
+// contract analyzers can follow calls across package boundaries. SSA is out
+// of scope — every tspu-vet analyzer is a function of one type-checked
+// package and the facts its dependencies exported.
 package analysis
 
 import (
@@ -27,6 +28,10 @@ type Analyzer struct {
 	Doc string
 	// Run applies the analyzer to one package.
 	Run func(*Pass) (any, error)
+	// FactTypes lists prototypes of the fact types this analyzer exports or
+	// imports, so the driver can decode them from serialized .vetx files.
+	// Analyzers with no FactTypes are pure per-package passes.
+	FactTypes []Fact
 }
 
 func (a *Analyzer) String() string { return a.Name }
@@ -42,6 +47,34 @@ type Pass struct {
 
 	// Report delivers one diagnostic. Set by the driver.
 	Report func(Diagnostic)
+
+	// Facts is this pass's view into the whole-program fact store, set by the
+	// driver when it runs packages in dependency order. Nil means facts are
+	// unavailable (a bare per-package run); analyzers must degrade to their
+	// per-package behavior then.
+	Facts *FactSet
+}
+
+// FactsEnabled reports whether this pass can exchange facts across packages.
+func (p *Pass) FactsEnabled() bool { return p.Facts != nil }
+
+// ExportObjectFact attaches fact to obj (a package-level object of the
+// package being analyzed) for importing packages to see. No-op when facts
+// are disabled.
+func (p *Pass) ExportObjectFact(obj types.Object, fact Fact) {
+	if p.Facts != nil {
+		p.Facts.export(obj, fact)
+	}
+}
+
+// ImportObjectFact copies the fact of ptr's type attached to obj into ptr,
+// reporting whether one existed. Works for objects of this package (exported
+// earlier in this pass) and of its dependencies.
+func (p *Pass) ImportObjectFact(obj types.Object, ptr Fact) bool {
+	if p.Facts == nil {
+		return false
+	}
+	return p.Facts.imp(obj, ptr)
 }
 
 // Diagnostic is one finding at a source position.

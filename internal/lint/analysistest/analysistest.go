@@ -64,6 +64,50 @@ func Run(t *testing.T, dir string, a *analysis.Analyzer, pkgPaths ...string) {
 	}
 }
 
+// RunFacts applies a to pkgPaths and every fixture-local package they pull
+// in, in dependency order with one shared fact store — the whole-program
+// analogue of Run. Want comments are checked in dependency packages too, so
+// one fixture tree pins both the local diagnostic that seeds a fact and the
+// cross-package diagnostic the fact produces.
+func RunFacts(t *testing.T, dir string, a *analysis.Analyzer, pkgPaths ...string) {
+	t.Helper()
+	l := newLoader(filepath.Join(dir, "src"))
+	for _, path := range pkgPaths {
+		if _, err := l.load(path); err != nil {
+			t.Errorf("%s: loading fixture %s: %v", a.Name, path, err)
+			return
+		}
+	}
+	store := analysis.NewStore(a)
+	// l.order is type-check completion order: a package's imports finish
+	// before it does, so walking it forward is dependency order.
+	diagsByPath := map[string][]analysis.Diagnostic{}
+	for _, path := range l.order {
+		lp := l.pkgs[path]
+		var diags []analysis.Diagnostic
+		pass := &analysis.Pass{
+			Analyzer:  a,
+			Fset:      l.fset,
+			Files:     lp.files,
+			Pkg:       lp.pkg,
+			TypesInfo: lp.info,
+			Facts:     store.View(a.Name, lp.pkg),
+			Report: func(d analysis.Diagnostic) {
+				d.Category = a.Name
+				diags = append(diags, d)
+			},
+		}
+		if _, err := a.Run(pass); err != nil {
+			t.Errorf("%s: running on %s: %v", a.Name, path, err)
+			return
+		}
+		diagsByPath[path] = diags
+	}
+	for _, path := range l.order {
+		checkExpectations(t, a.Name, l.fset, l.pkgs[path].files, diagsByPath[path])
+	}
+}
+
 // expectation is one "want" regexp attached to a fixture line.
 type expectation struct {
 	file string
@@ -142,6 +186,9 @@ type loader struct {
 	fset *token.FileSet
 	std  types.Importer
 	pkgs map[string]*loaded
+	// order records fixture packages in type-check completion order; imports
+	// complete before their importers, so this is a topological order.
+	order []string
 }
 
 type loaded struct {
@@ -212,5 +259,8 @@ func (l *loader) load(path string) (*loaded, error) {
 	}
 	conf := types.Config{Importer: l}
 	lp.pkg, lp.err = conf.Check(path, l.fset, lp.files, lp.info)
+	if lp.err == nil {
+		l.order = append(l.order, path)
+	}
 	return lp, lp.err
 }

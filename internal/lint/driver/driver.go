@@ -35,6 +35,7 @@ type listPackage struct {
 	ImportPath string
 	Dir        string
 	GoFiles    []string
+	Imports    []string
 	Export     string
 	DepOnly    bool
 	Standard   bool
@@ -57,6 +58,13 @@ func (d Diagnostic) String() string {
 // go command relative to dir; empty dir means the current directory) and
 // returns the surviving diagnostics after //tspuvet:allow suppression,
 // sorted by position.
+//
+// The analysis is whole-program: every module package in the dependency
+// closure is analyzed in dependency order with one shared fact store, so the
+// facts a dependency exports (purity taint, packet retention, lane entry
+// points, closed enums) are visible when its dependents are analyzed.
+// Diagnostics are reported only for the packages that matched patterns;
+// dependency-only packages contribute facts alone.
 func Check(dir string, patterns []string, analyzers []*analysis.Analyzer) ([]Diagnostic, error) {
 	pkgs, exports, err := goList(dir, patterns)
 	if err != nil {
@@ -79,14 +87,18 @@ func Check(dir string, patterns []string, analyzers []*analysis.Analyzer) ([]Dia
 		return os.Open(file)
 	})
 
+	store := analysis.NewStore(analyzers...)
 	var diags []Diagnostic
-	for _, lp := range pkgs {
-		if lp.DepOnly || len(lp.GoFiles) == 0 {
+	for _, lp := range dependencyOrder(pkgs) {
+		if lp.Standard || len(lp.GoFiles) == 0 {
 			continue
 		}
-		pkgDiags, err := checkPackage(fset, imp, lp, analyzers, ran)
+		pkgDiags, err := checkPackage(fset, imp, lp, analyzers, ran, store)
 		if err != nil {
 			return nil, fmt.Errorf("%s: %w", lp.ImportPath, err)
+		}
+		if lp.DepOnly {
+			continue // analyzed for facts only; not a requested target
 		}
 		diags = append(diags, pkgDiags...)
 	}
@@ -106,10 +118,46 @@ func Check(dir string, patterns []string, analyzers []*analysis.Analyzer) ([]Dia
 	return diags, nil
 }
 
+// dependencyOrder sorts module packages so every package comes after the
+// packages it imports — the order fact propagation requires. `go list -deps`
+// already emits depth-first post-order, but the sort is recomputed here so
+// the result (and therefore every fact-dependent diagnostic) is identical no
+// matter how the input happened to be ordered. Ties keep input order, which
+// go list makes deterministic.
+func dependencyOrder(pkgs []*listPackage) []*listPackage {
+	byPath := make(map[string]*listPackage, len(pkgs))
+	for _, lp := range pkgs {
+		byPath[lp.ImportPath] = lp
+	}
+	out := make([]*listPackage, 0, len(pkgs))
+	visited := make(map[string]bool, len(pkgs))
+	var visit func(lp *listPackage)
+	visit = func(lp *listPackage) {
+		if visited[lp.ImportPath] {
+			return
+		}
+		visited[lp.ImportPath] = true
+		for _, path := range lp.Imports {
+			if resolved, ok := lp.ImportMap[path]; ok {
+				path = resolved
+			}
+			if dep, ok := byPath[path]; ok && !dep.Standard {
+				visit(dep)
+			}
+		}
+		out = append(out, lp)
+	}
+	for _, lp := range pkgs {
+		visit(lp)
+	}
+	return out
+}
+
 // CheckFiles analyzes one already-listed package given its files and an
-// import resolver — the unitchecker entry point shared with Check.
+// import resolver — the unitchecker entry point shared with Check. A nil
+// store runs the analyzers in per-package mode (no cross-package facts).
 func CheckFiles(fset *token.FileSet, imp types.Importer, importPath string, filenames []string,
-	analyzers []*analysis.Analyzer, ran map[string]bool) ([]Diagnostic, error) {
+	analyzers []*analysis.Analyzer, ran map[string]bool, store *analysis.Store) ([]Diagnostic, error) {
 	var files []*ast.File
 	for _, name := range filenames {
 		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments)
@@ -144,6 +192,9 @@ func CheckFiles(fset *token.FileSet, imp types.Importer, importPath string, file
 				raw = append(raw, d)
 			},
 		}
+		if store != nil {
+			pass.Facts = store.View(name, pkg)
+		}
 		if _, err := a.Run(pass); err != nil {
 			return nil, fmt.Errorf("analyzer %s: %w", name, err)
 		}
@@ -157,12 +208,12 @@ func CheckFiles(fset *token.FileSet, imp types.Importer, importPath string, file
 }
 
 func checkPackage(fset *token.FileSet, imp types.Importer, lp *listPackage,
-	analyzers []*analysis.Analyzer, ran map[string]bool) ([]Diagnostic, error) {
+	analyzers []*analysis.Analyzer, ran map[string]bool, store *analysis.Store) ([]Diagnostic, error) {
 	names := make([]string, len(lp.GoFiles))
 	for i, f := range lp.GoFiles {
 		names[i] = filepath.Join(lp.Dir, f)
 	}
-	return CheckFiles(fset, imp, lp.ImportPath, names, analyzers, ran)
+	return CheckFiles(fset, imp, lp.ImportPath, names, analyzers, ran, store)
 }
 
 // goList shells out once for targets and their full dependency closure with

@@ -6,10 +6,12 @@ import (
 	"os"
 	"os/exec"
 	"path/filepath"
+	"sort"
 	"strings"
 	"testing"
 
 	"tspusim/internal/lint"
+	"tspusim/internal/lint/analysis"
 	"tspusim/internal/lint/driver"
 )
 
@@ -251,5 +253,352 @@ func TestRunUnitcheckerCfg(t *testing.T) {
 	cfg = writeCfg(driver.UnitConfig{ID: "clean", ImportPath: "synthunit/q", GoFiles: []string{cleanSrc}})
 	if code := driver.RunUnitchecker(cfg, lint.Analyzers(), ran, func([]driver.Diagnostic) {}); code != 0 {
 		t.Errorf("clean package: exit %d, want 0", code)
+	}
+}
+
+// The synthfacts module is the cross-package regression bed for the facts
+// layer: packet (the aliasing seed), dep (annotated-but-fact-exporting
+// sources of impurity, retention, allocation, and a closed enum), and top
+// (one surviving consumer diagnostic per fact kind, each paired with a
+// suppressed twin so the allow directives in top only stay fresh when the
+// facts actually arrive).
+const synthPacket = `// Package packet is the aliasing seed the retain analyzer keys on.
+package packet
+
+// Packet is the minimal packet shape.
+type Packet struct {
+	Payload []byte
+}
+`
+
+const synthDep = `// Package dep exports facts from sites that are excused locally.
+package dep
+
+import (
+	"fmt"
+	"time"
+
+	"synthfacts/packet"
+)
+
+// Kind is a closed verdict enum for the consumer's switches.
+//
+//tspuvet:closedenum
+type Kind int
+
+// Kinds.
+const (
+	KA Kind = iota
+	KB
+	KC
+)
+
+// held is the parking lot Keep retains into.
+var held *packet.Packet
+
+// Stamp reads the wall clock; excused here, but the taint still travels.
+func Stamp() time.Time {
+	return time.Now() //tspuvet:allow walltime: fixture boundary; callers see the taint via facts
+}
+
+// Keep parks the packet; excused here, the retention still travels.
+func Keep(p *packet.Packet) {
+	held = p //tspuvet:retains fixture parking lot; callers inherit the handoff via facts
+}
+
+// Label allocates; no hot marker here, so only hot callers pay.
+func Label(n int) string {
+	return fmt.Sprintf("n=%d", n)
+}
+`
+
+const synthTop = `// Package top consumes dep through the fact store.
+package top
+
+import (
+	"time"
+
+	"synthfacts/dep"
+	"synthfacts/packet"
+)
+
+// Step picks up dep's wall-clock taint: the surviving walltime finding.
+func Step() time.Duration {
+	return dep.Stamp().Sub(time.Time{})
+}
+
+// Report makes the identical call under an impurity stamp: silenced.
+//
+//tspuvet:impure fixture: progress metrics only
+func Report() time.Time {
+	return dep.Stamp()
+}
+
+// Forward hands the live packet across the boundary: the retain finding.
+func Forward(p *packet.Packet) {
+	dep.Keep(p)
+}
+
+// ForwardAllowed is the same handoff, excused at the call site.
+func ForwardAllowed(p *packet.Packet) {
+	dep.Keep(p) //tspuvet:retains fixture consumer keeps the lot drained
+}
+
+// Hot is on the per-packet path, so dep.Label's allocation is its problem.
+//
+//tspuvet:hotpath PerPacket
+func Hot(n int) string {
+	return dep.Label(n)
+}
+
+// HotAllowed pays the same allocation with a reasoned excuse.
+//
+//tspuvet:hotpath PerPacket
+func HotAllowed(n int) string {
+	return dep.Label(n) //tspuvet:allow hotpath: fixture cold branch measured separately
+}
+
+// Describe misses KC: the surviving statecheck finding.
+func Describe(k dep.Kind) string {
+	switch k {
+	case dep.KA:
+		return "a"
+	case dep.KB:
+		return "b"
+	}
+	return ""
+}
+
+// DescribeAllowed hides members behind an annotated default.
+func DescribeAllowed(k dep.Kind) string {
+	switch k {
+	case dep.KA:
+		return "a"
+	default: //tspuvet:allow statecheck: fixture remaining kinds share a path
+		return "other"
+	}
+}
+`
+
+func writeSynthfacts(t *testing.T) string {
+	t.Helper()
+	return writeModule(t, map[string]string{
+		"go.mod":           "module synthfacts\n\ngo 1.22\n",
+		"packet/packet.go": synthPacket,
+		"dep/dep.go":       synthDep,
+		"top/top.go":       synthTop,
+	})
+}
+
+// synthfactsWant is the surviving diagnostic set: one finding per fact kind,
+// all in the consuming package, in position order.
+var synthfactsWant = []struct{ analyzer, substr string }{
+	{"walltime", "call to dep.Stamp reaches wall-clock time (reached via dep.Stamp → time.Now)"},
+	{"retaincheck", "packet-aliasing value passed to dep.Keep, which retains it"},
+	{"hotpath", "call to dep.Label allocates: fmt.Sprintf"},
+	{"statecheck", "switch over closed enum dep.Kind does not handle KC"},
+}
+
+func checkSynthfactsDiags(t *testing.T, label string, diags []driver.Diagnostic) {
+	t.Helper()
+	if len(diags) != len(synthfactsWant) {
+		t.Errorf("%s: %d diagnostics, want %d: %v", label, len(diags), len(synthfactsWant), diags)
+		return
+	}
+	for i, w := range synthfactsWant {
+		d := diags[i]
+		if d.Analyzer != w.analyzer || !strings.Contains(d.Message, w.substr) ||
+			filepath.Base(d.Pos.Filename) != "top.go" {
+			t.Errorf("%s: diag[%d] = %s, want %s in top.go containing %q", label, i, d, w.analyzer, w.substr)
+		}
+	}
+}
+
+// Whole-program standalone analysis over the synthfacts module: exactly one
+// surviving diagnostic per fact kind, every one in the consuming package and
+// invisible to per-package analysis, and the same output no matter what
+// order the packages are named in — dependency ordering, not argument
+// ordering, decides when facts are available.
+func TestCheckSynthfactsCrossPackage(t *testing.T) {
+	if testing.Short() {
+		t.Skip("shells out to the go command")
+	}
+	dir := writeSynthfacts(t)
+	orders := [][]string{
+		{"./..."},
+		{"./packet", "./dep", "./top"},
+		{"./top", "./dep", "./packet"},
+	}
+	var first []driver.Diagnostic
+	for _, patterns := range orders {
+		diags, err := driver.Check(dir, patterns, lint.Analyzers())
+		if err != nil {
+			t.Fatalf("Check(%v): %v", patterns, err)
+		}
+		checkSynthfactsDiags(t, strings.Join(patterns, " "), diags)
+		if first == nil {
+			first = diags
+			continue
+		}
+		for i := range diags {
+			if diags[i] != first[i] {
+				t.Errorf("pattern order %v changed diag[%d]: %s vs %s", patterns, i, diags[i], first[i])
+			}
+		}
+	}
+}
+
+// The same module through the go vet protocol: the go command schedules the
+// units, the .vetx files carry the facts between them, and the surviving
+// findings match standalone mode exactly.
+func TestVettoolSynthfactsRoundTrip(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and runs the tspu-vet binary")
+	}
+	bin := buildVet(t)
+	dir := writeSynthfacts(t)
+
+	cmd := exec.Command(bin, "./...")
+	cmd.Dir = dir
+	out, err := cmd.CombinedOutput()
+	if code := exitCode(t, err); code != 1 {
+		t.Errorf("standalone: exit %d, want 1\n%s", code, out)
+	}
+
+	cmd = exec.Command("go", "vet", "-vettool="+bin, "./...")
+	cmd.Dir = dir
+	vetOut, err := cmd.CombinedOutput()
+	if code := exitCode(t, err); code == 0 {
+		t.Errorf("go vet -vettool: exit 0, want nonzero\n%s", vetOut)
+	}
+	for _, run := range [][]byte{out, vetOut} {
+		for _, w := range synthfactsWant {
+			if !strings.Contains(string(run), w.substr) {
+				t.Errorf("output missing %q:\n%s", w.substr, run)
+			}
+		}
+		if strings.Contains(string(run), "ForwardAllowed") || strings.Contains(string(run), "dep.go:") {
+			t.Errorf("suppressed or dependency-side finding leaked:\n%s", run)
+		}
+	}
+}
+
+// goListExports shells out the way the driver does and returns the import
+// map and export-data paths the unitchecker cfg needs, letting the test
+// hand-write the .cfg files the go command would normally produce.
+func goListExports(t *testing.T, dir string) (importMap, packageFile map[string]string) {
+	t.Helper()
+	cmd := exec.Command("go", "list", "-export", "-deps", "-json=ImportPath,Export", "./...")
+	cmd.Dir = dir
+	out, err := cmd.Output()
+	if err != nil {
+		t.Fatalf("go list -export: %v", err)
+	}
+	importMap = map[string]string{}
+	packageFile = map[string]string{}
+	dec := json.NewDecoder(strings.NewReader(string(out)))
+	for dec.More() {
+		var p struct{ ImportPath, Export string }
+		if err := dec.Decode(&p); err != nil {
+			t.Fatal(err)
+		}
+		importMap[p.ImportPath] = p.ImportPath
+		if p.Export != "" {
+			packageFile[p.ImportPath] = p.Export
+		}
+	}
+	return importMap, packageFile
+}
+
+// The unitchecker protocol with hand-written .cfg and .vetx files: dep
+// analyzes clean (its sites are excused) but still writes every fact kind to
+// its .vetx; feeding that file to top's unit resurfaces all four consumer
+// diagnostics; and a .vetx hand-crafted from scratch pins the on-disk fact
+// format — the diagnostic it produces can only have come from the file.
+func TestUnitcheckerSynthfactsVetx(t *testing.T) {
+	if testing.Short() {
+		t.Skip("shells out to the go command for export data")
+	}
+	dir := writeSynthfacts(t)
+	importMap, packageFile := goListExports(t, dir)
+	ran := map[string]bool{}
+	for _, a := range lint.Analyzers() {
+		ran[a.Name] = true
+	}
+	writeCfg := func(cfg driver.UnitConfig) string {
+		data, err := json.Marshal(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		path := filepath.Join(dir, strings.ReplaceAll(cfg.ID, "/", "_")+".cfg")
+		if err := os.WriteFile(path, data, 0o666); err != nil {
+			t.Fatal(err)
+		}
+		return path
+	}
+
+	depVetx := filepath.Join(dir, "dep.vetx")
+	cfg := writeCfg(driver.UnitConfig{
+		ID: "synthfacts/dep", ImportPath: "synthfacts/dep",
+		GoFiles:   []string{filepath.Join(dir, "dep", "dep.go")},
+		ImportMap: importMap, PackageFile: packageFile,
+		VetxOutput: depVetx,
+	})
+	if code := driver.RunUnitchecker(cfg, lint.Analyzers(), ran, func(d []driver.Diagnostic) {
+		if len(d) > 0 {
+			t.Errorf("dep unit reported diagnostics: %v", d)
+		}
+	}); code != 0 {
+		t.Errorf("dep unit: exit %d, want 0 (all sites excused)", code)
+	}
+	vetx, err := os.ReadFile(depVetx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, typ := range []string{"ImpureFact", "RetainsFact", "AllocFact", "EnumFact"} {
+		if !strings.Contains(string(vetx), typ) {
+			t.Errorf("dep.vetx missing %s:\n%s", typ, vetx)
+		}
+	}
+
+	topGo := []string{filepath.Join(dir, "top", "top.go")}
+	cfg = writeCfg(driver.UnitConfig{
+		ID: "synthfacts/top", ImportPath: "synthfacts/top",
+		GoFiles:   topGo,
+		ImportMap: importMap, PackageFile: packageFile,
+		PackageVetx: map[string]string{"synthfacts/dep": depVetx},
+	})
+	var got []driver.Diagnostic
+	if code := driver.RunUnitchecker(cfg, lint.Analyzers(), ran, func(d []driver.Diagnostic) { got = d }); code != 2 {
+		t.Errorf("top unit: exit %d, want 2", code)
+	}
+	// The unit protocol emits per analyzer; normalize to position order
+	// before comparing against the standalone expectation.
+	sort.Slice(got, func(i, j int) bool { return got[i].Pos.Line < got[j].Pos.Line })
+	checkSynthfactsDiags(t, "top unit", got)
+
+	// A .vetx written by hand, never by the tool: if the diagnostic appears,
+	// the wire format is the one documented here. Only walltime runs, so the
+	// lone finding is traceable to the lone hand-written fact.
+	handVetx := filepath.Join(dir, "hand.vetx")
+	handFact := `[{"obj":"Stamp","analyzer":"walltime","type":"ImpureFact",` +
+		`"data":{"reason":"time.Now","chain":["dep.Stamp","time.Now"]}}]`
+	if err := os.WriteFile(handVetx, []byte(handFact), 0o666); err != nil {
+		t.Fatal(err)
+	}
+	cfg = writeCfg(driver.UnitConfig{
+		ID: "synthfacts/top-hand", ImportPath: "synthfacts/top",
+		GoFiles:   topGo,
+		ImportMap: importMap, PackageFile: packageFile,
+		PackageVetx: map[string]string{"synthfacts/dep": handVetx},
+	})
+	got = nil
+	if code := driver.RunUnitchecker(cfg, []*analysis.Analyzer{lint.Walltime},
+		map[string]bool{"walltime": true}, func(d []driver.Diagnostic) { got = d }); code != 2 {
+		t.Errorf("hand-written vetx unit: exit %d, want 2", code)
+	}
+	if len(got) != 1 || got[0].Analyzer != "walltime" ||
+		!strings.Contains(got[0].Message, "reached via dep.Stamp → time.Now") {
+		t.Errorf("hand-written vetx: diagnostics = %v, want one walltime finding with the hand-written chain", got)
 	}
 }

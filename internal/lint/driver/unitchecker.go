@@ -7,6 +7,9 @@ import (
 	"go/token"
 	"io"
 	"os"
+	"path/filepath"
+	"runtime"
+	"sort"
 	"strings"
 
 	"tspusim/internal/lint/analysis"
@@ -34,9 +37,12 @@ type UnitConfig struct {
 
 // RunUnitchecker analyzes one package under the go vet protocol: read the
 // .cfg, type-check against the export data the go command already built,
-// emit surviving diagnostics, and write the (empty — the suite exchanges no
-// facts) .vetx output the go command expects. Exit codes follow cmd/vet:
-// 0 clean, 1 tool failure, 2 diagnostics.
+// import the facts its dependencies serialized into their .vetx files, emit
+// surviving diagnostics, and write this package's own facts to the .vetx
+// output the go command expects. VetxOnly requests (dependencies pulled in
+// for their facts alone) still run the analyzers, but only to export facts —
+// their diagnostics are the owning package's business, not this unit's.
+// Exit codes follow cmd/vet: 0 clean, 1 tool failure, 2 diagnostics.
 func RunUnitchecker(cfgFile string, analyzers []*analysis.Analyzer, ran map[string]bool, emit func([]Diagnostic)) int {
 	data, err := os.ReadFile(cfgFile)
 	if err != nil {
@@ -48,16 +54,55 @@ func RunUnitchecker(cfgFile string, analyzers []*analysis.Analyzer, ran map[stri
 		fmt.Fprintf(os.Stderr, "tspu-vet: parsing %s: %v\n", cfgFile, err)
 		return 1
 	}
-	writeVetx := func() {
+	writeVetx := func(facts []byte) {
 		if cfg.VetxOutput != "" {
-			os.WriteFile(cfg.VetxOutput, nil, 0o666)
+			os.WriteFile(cfg.VetxOutput, facts, 0o666)
 		}
 	}
-	if cfg.VetxOnly {
-		// Facts-only request for a dependency; the suite has no facts.
-		writeVetx()
+	if stdlibUnit(&cfg) {
+		// The analyzers' contracts are about module code; stdlib units get
+		// an empty fact file and no analysis, in both modes. Standalone mode
+		// gets the same boundary from go list's Standard flag.
+		writeVetx(nil)
 		return 0
 	}
+
+	store := analysis.NewStore(analyzers...)
+	vetxPaths := make([]string, 0, len(cfg.PackageVetx))
+	for path := range cfg.PackageVetx {
+		vetxPaths = append(vetxPaths, path)
+	}
+	sort.Strings(vetxPaths)
+	for _, path := range vetxPaths {
+		if cfg.Standard[path] || cfg.Standard[plainImportPath(path)] {
+			// Even if a stdlib unit was analyzed (an older tool build, a
+			// shared cache), its facts stay outside the contract: taint that
+			// merely passes through testing.T.Run or exec.Cmd is the
+			// standard library's business, not the simulation's.
+			continue
+		}
+		data, err := os.ReadFile(cfg.PackageVetx[path])
+		if err != nil {
+			// A missing dependency vetx degrades that dependency to
+			// fact-free (the pre-facts format) rather than failing vet.
+			continue
+		}
+		// Register the dependency's facts under every path the type-checker
+		// may report for its objects: the unit ID the go command keys
+		// PackageVetx by, and — for "pkg [pkg.test]" test variants — the
+		// plain import path its export data carries.
+		if err := store.ImportPackage(path, data); err != nil {
+			fmt.Fprintln(os.Stderr, "tspu-vet:", err)
+			return 1
+		}
+		if plain := plainImportPath(path); plain != path {
+			if err := store.ImportPackage(plain, data); err != nil {
+				fmt.Fprintln(os.Stderr, "tspu-vet:", err)
+				return 1
+			}
+		}
+	}
+
 	compiler := cfg.Compiler
 	if compiler == "" {
 		compiler = "gc"
@@ -73,19 +118,52 @@ func RunUnitchecker(cfgFile string, analyzers []*analysis.Analyzer, ran map[stri
 		}
 		return os.Open(file)
 	})
-	diags, err := CheckFiles(fset, imp, cfg.ImportPath, cfg.GoFiles, analyzers, ran)
+	diags, err := CheckFiles(fset, imp, cfg.ImportPath, cfg.GoFiles, analyzers, ran, store)
 	if err != nil {
 		if cfg.SucceedOnTypecheckFailure && strings.Contains(err.Error(), "type-checking") {
-			writeVetx()
+			writeVetx(nil)
 			return 0
 		}
 		fmt.Fprintln(os.Stderr, "tspu-vet:", err)
 		return 1
 	}
-	writeVetx()
+	facts, err := store.ExportPackage(cfg.ImportPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "tspu-vet:", err)
+		return 1
+	}
+	writeVetx(facts)
+	if cfg.VetxOnly {
+		return 0
+	}
 	emit(diags)
 	if len(diags) > 0 {
 		return 2
 	}
 	return 0
+}
+
+// stdlibUnit reports whether the unit being checked is a standard-library
+// package the go command pulled in for facts. The cfg's Standard map lists
+// the unit's std *dependencies*, never the unit itself, so membership is
+// decided by where the sources live: under the toolchain's GOROOT.
+func stdlibUnit(cfg *UnitConfig) bool {
+	if cfg.Standard[cfg.ImportPath] {
+		return true
+	}
+	root := runtime.GOROOT()
+	if root == "" || len(cfg.GoFiles) == 0 {
+		return false
+	}
+	src := filepath.Join(root, "src") + string(filepath.Separator)
+	return strings.HasPrefix(cfg.GoFiles[0], src)
+}
+
+// plainImportPath strips the " [pkg.test]" suffix a test-variant unit ID
+// carries, yielding the import path as export data records it.
+func plainImportPath(id string) string {
+	if i := strings.Index(id, " ["); i >= 0 {
+		return id[:i]
+	}
+	return id
 }

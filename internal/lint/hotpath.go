@@ -39,18 +39,40 @@ import (
 // Device.Handle → conntrack.observe") so a violation deep in a helper is
 // attributable without re-deriving the graph by hand.
 //
-// The analysis is per package, like every tspu-vet analyzer: calls into
-// other module packages are boundaries, which is sound because every
-// hot-path callee package declares its own roots (ExtractSNI for tlsx,
-// MarshalAppend for packet, ...) and the escapegate — compiler escape
-// analysis over all annotated packages together — checks the composition.
+// With facts enabled the analysis is whole-program: every package-level
+// function (hot or not) is probed for its first allocating construct, lines
+// excused by //tspuvet:allow hotpath excluded, and functions that allocate —
+// directly or through calls — export an AllocFact. A hot-reachable function
+// calling an imported module function that carries an AllocFact is a
+// diagnostic carrying both chains: where the allocation lives in the callee
+// and how the hot path reached the call. Cold (//tspuvet:coldpath) functions
+// export no fact: declaring a function off-contract cuts the taint exactly
+// like it cuts same-package traversal. Without facts (a bare per-package
+// run) the analyzer behaves as before, and the escapegate — compiler escape
+// analysis over all annotated packages together — still checks the
+// composition end to end.
 var Hotpath = &analysis.Analyzer{
 	Name: "hotpath",
 	Doc: "forbid allocating constructs in functions reachable from a " +
 		"//tspuvet:hotpath root (fmt, string concat, boxing, escaping " +
-		"closures, defer in loops, map iteration, ...)",
-	Run: runHotpath,
+		"closures, defer in loops, map iteration, ...), following calls " +
+		"across packages via AllocFacts",
+	Run:       runHotpath,
+	FactTypes: []analysis.Fact{(*AllocFact)(nil)},
 }
+
+// AllocFact marks a package-level function that allocates on some path —
+// directly (What is the construct, Chain is just the function) or through
+// calls (Chain walks down to the allocating construct, one qualified
+// function per hop). Hot-reachable code in importing packages treats a call
+// to a fact-bearing function exactly like a local allocating construct.
+type AllocFact struct {
+	What  string   `json:"what"`
+	Chain []string `json:"chain"`
+}
+
+// AFact marks AllocFact as a serializable analysis fact.
+func (*AllocFact) AFact() {}
 
 const (
 	hotpathVerb  = "hotpath"
@@ -69,6 +91,9 @@ type funcNode struct {
 	// nil for roots themselves.
 	parent  *funcNode
 	reached bool
+	// alloc is the function's allocation taint when facts are enabled: its
+	// first unexcused allocating construct, local or reached through calls.
+	alloc *AllocFact
 }
 
 func runHotpath(pass *analysis.Pass) (any, error) {
@@ -121,12 +146,99 @@ func runHotpath(pass *analysis.Pass) (any, error) {
 		}
 	}
 
+	if pass.FactsEnabled() {
+		hotpathFacts(pass, order)
+	}
+
 	for _, n := range order {
 		if n.reached {
 			checkHotFunc(pass, n)
 		}
 	}
 	return nil, nil
+}
+
+// hotpathFacts probes every non-cold function for allocation taint and
+// exports the AllocFacts importing packages will consume. Probing runs the
+// same hotChecker walk as the diagnostics pass, but collecting instead of
+// reporting, and honoring //tspuvet:allow hotpath lines — an excused
+// pool-refill must not taint its callers.
+func hotpathFacts(pass *analysis.Pass, order []*funcNode) {
+	allowed := map[string]map[int]bool{}
+	for _, f := range pass.Files {
+		fname := pass.Fset.Position(f.Pos()).Filename
+		for _, d := range ParseDirectives(pass.Fset, f, func(analysis.Diagnostic) {}) {
+			if d.Analyzer == hotpathVerb {
+				if allowed[fname] == nil {
+					allowed[fname] = map[int]bool{}
+				}
+				allowed[fname][d.Line] = true
+			}
+		}
+	}
+	excused := func(pos token.Pos) bool {
+		p := pass.Fset.Position(pos)
+		return allowed[p.Filename][p.Line] || allowed[p.Filename][p.Line-1]
+	}
+
+	qual := func(n *funcNode) string { return pass.Pkg.Name() + "." + n.name }
+	for _, n := range order {
+		if n.cold {
+			continue
+		}
+		c := &hotChecker{
+			pass:        pass,
+			freshSlices: map[types.Object]bool{},
+			mapKeyConvs: map[*ast.CallExpr]bool{},
+		}
+		var best token.Pos
+		c.emit = func(pos token.Pos, msg string) {
+			if excused(pos) {
+				return
+			}
+			if n.alloc == nil || pos < best {
+				best = pos
+				n.alloc = &AllocFact{What: msg, Chain: []string{qual(n)}}
+			}
+		}
+		c.onFactCall = func(pos token.Pos, af *AllocFact) {
+			if excused(pos) {
+				return
+			}
+			if n.alloc == nil || pos < best {
+				best = pos
+				n.alloc = &AllocFact{What: af.What, Chain: append([]string{qual(n)}, af.Chain...)}
+			}
+		}
+		c.prepass(n.decl.Body)
+		c.walk(n.decl.Body, 0)
+	}
+
+	// Same-package taint: a clean function calling an allocating one
+	// allocates too. First-hit in source order keeps chains deterministic;
+	// never replacing an assigned fact terminates cycles.
+	for changed := true; changed; {
+		changed = false
+		for _, n := range order {
+			if n.cold || n.alloc != nil {
+				continue
+			}
+			for _, callee := range n.edges {
+				if callee.cold || callee.alloc == nil {
+					continue
+				}
+				n.alloc = &AllocFact{What: callee.alloc.What, Chain: append([]string{qual(n)}, callee.alloc.Chain...)}
+				changed = true
+				break
+			}
+		}
+	}
+
+	for _, n := range order {
+		if n.alloc != nil && !n.cold {
+			pass.ExportObjectFact(n.fn, n.alloc)
+		}
+	}
 }
 
 // hotpathNodes collects every declared function plus its hotpath/coldpath
@@ -192,7 +304,10 @@ func hotpathNodes(pass *analysis.Pass) (map[*types.Func]*funcNode, []*funcNode) 
 			}
 		}
 	}
-	if !anyMark {
+	if !anyMark && !pass.FactsEnabled() {
+		// A mark-free package has no hot roots to check; without facts there
+		// is nothing else to compute. With facts, the node table still feeds
+		// AllocFact probing so allocation taint crosses this package.
 		return nil, nil
 	}
 	return nodes, order
@@ -299,10 +414,19 @@ var allocatingStdlib = map[string]map[string]bool{
 	},
 }
 
-// hotChecker walks one reachable function's body.
+// hotChecker walks one function's body. The diagnostics pass (checkHotFunc)
+// and the AllocFact probe share it through the emit hooks.
 type hotChecker struct {
 	pass  *analysis.Pass
 	chain string
+	// emit receives each finding's position and chain-free message; the
+	// diagnostics pass appends the chain and advice and reports, the fact
+	// probe records the first unexcused finding.
+	emit func(pos token.Pos, msg string)
+	// onFactCall, when set (fact probe), receives calls to imported functions
+	// carrying an AllocFact instead of emit, so the probe can splice the
+	// callee's chain instead of nesting messages.
+	onFactCall func(pos token.Pos, af *AllocFact)
 	// freshSlices are local slice vars declared empty (var s []T,
 	// s := []T{}, s := make([]T, 0)); appending to them grows from zero.
 	freshSlices map[types.Object]bool
@@ -318,15 +442,17 @@ func checkHotFunc(pass *analysis.Pass, n *funcNode) {
 		freshSlices: map[types.Object]bool{},
 		mapKeyConvs: map[*ast.CallExpr]bool{},
 	}
+	c.emit = func(pos token.Pos, msg string) {
+		c.pass.Report(analysis.Diagnostic{Pos: pos, Message: fmt.Sprintf(
+			"%s (%s); fix it, mark the function //tspuvet:coldpath <reason>, or justify with //tspuvet:allow hotpath: <reason>",
+			msg, c.chain)})
+	}
 	c.prepass(n.decl.Body)
 	c.walk(n.decl.Body, 0)
 }
 
 func (c *hotChecker) reportf(pos token.Pos, format string, args ...any) {
-	msg := fmt.Sprintf(format, args...)
-	c.pass.Report(analysis.Diagnostic{Pos: pos, Message: fmt.Sprintf(
-		"%s (%s); fix it, mark the function //tspuvet:coldpath <reason>, or justify with //tspuvet:allow hotpath: <reason>",
-		msg, c.chain)})
+	c.emit(pos, fmt.Sprintf(format, args...))
 }
 
 // prepass records fresh-slice declarations and map-key conversions before
@@ -567,6 +693,16 @@ func (c *hotChecker) checkCall(call *ast.CallExpr) {
 				// reports on the same line would only be noise.
 				return
 			}
+		}
+		var af AllocFact
+		if c.pass.ImportObjectFact(fn, &af) {
+			if c.onFactCall != nil {
+				c.onFactCall(call.Pos(), &af)
+			} else {
+				c.reportf(call.Pos(), "call to %s allocates: %s (in the callee via %s)",
+					af.Chain[0], af.What, strings.Join(af.Chain, " → "))
+			}
+			return
 		}
 	}
 	// Arguments: closures, method values, escaping composites, boxing.

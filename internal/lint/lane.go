@@ -41,14 +41,39 @@ import (
 // Packages with no markers are untouched. Dynamic calls (interface methods,
 // func values) are boundaries, as everywhere in tspu-vet. Call results are
 // treated as lane-local (the producer owns what it returns).
+//
+// Across packages the markers travel as facts: LaneOwnedFact on every marked
+// type, so lane code in one package recognizes shard state declared in
+// another, and LaneEntryFact on every lane root, so lane-reachable code that
+// statically calls an imported entry point must hand it this lane's own index
+// — anything else is a cross-lane handoff.
 var Lanecheck = &analysis.Analyzer{
 	Name: "lanecheck",
 	Doc: "code reachable from a //tspuvet:lane entry point may touch " +
 		"//tspuvet:laneowned sharded state only through the lane's own shard, " +
 		"indexed by the lane parameter; writes to shared structs and shared " +
-		"RNG draws are diagnostics",
-	Run: runLanecheck,
+		"RNG draws are diagnostics; markers cross package seams as facts",
+	Run:       runLanecheck,
+	FactTypes: []analysis.Fact{(*LaneOwnedFact)(nil), (*LaneEntryFact)(nil)},
 }
+
+// LaneOwnedFact marks a type declared //tspuvet:laneowned: a value of it is
+// owned by exactly one lane, so importing packages' lane code treats it as
+// shard state rather than shared memory.
+type LaneOwnedFact struct{}
+
+// AFact marks LaneOwnedFact as a serializable analysis fact.
+func (*LaneOwnedFact) AFact() {}
+
+// LaneEntryFact marks a //tspuvet:lane entry point. LaneParam is the
+// flattened index of its integer lane parameter, or -1 when the lane
+// identity is a lane-owned receiver instead.
+type LaneEntryFact struct {
+	LaneParam int `json:"laneParam"`
+}
+
+// AFact marks LaneEntryFact as a serializable analysis fact.
+func (*LaneEntryFact) AFact() {}
 
 const (
 	laneVerb      = "lane"
@@ -65,6 +90,16 @@ func runLanecheck(pass *analysis.Pass) (any, error) {
 	nodes, order := c.collect()
 	if nodes == nil {
 		return nil, nil
+	}
+	if pass.FactsEnabled() {
+		for tn := range c.owned {
+			pass.ExportObjectFact(tn, &LaneOwnedFact{})
+		}
+		for _, n := range order {
+			if n.root {
+				pass.ExportObjectFact(n.fn, &LaneEntryFact{LaneParam: laneParamIndex(pass.TypesInfo, n.decl)})
+			}
+		}
 	}
 
 	// Call-graph edges and BFS from the lane roots, mirroring hotpath.
@@ -118,6 +153,22 @@ func runLanecheck(pass *analysis.Pass) (any, error) {
 type laneChecker struct {
 	pass  *analysis.Pass
 	owned map[*types.TypeName]bool
+}
+
+// isOwned reports whether a type is lane-owned: marked in this package, or
+// carrying an imported LaneOwnedFact from the package that declared it.
+func (c *laneChecker) isOwned(tn *types.TypeName) bool {
+	if tn == nil {
+		return false
+	}
+	if c.owned[tn] {
+		return true
+	}
+	if tn.Pkg() != nil && tn.Pkg() != c.pass.Pkg {
+		var lf LaneOwnedFact
+		return c.pass.ImportObjectFact(tn, &lf)
+	}
+	return false
 }
 
 // collect gathers lane/laneowned markers (validating placement) and builds
@@ -245,7 +296,7 @@ func (c *laneChecker) laneOwnedRecv(fd *ast.FuncDecl) bool {
 		t = p.Elem()
 	}
 	named, ok := t.(*types.Named)
-	return ok && c.owned[named.Obj()]
+	return ok && c.isOwned(named.Obj())
 }
 
 // laneMarkerOf parses a //tspuvet:lane or //tspuvet:laneowned comment.
@@ -262,6 +313,33 @@ func laneMarkerOf(c *ast.Comment) (string, bool) {
 		return "", false
 	}
 	return verb, true
+}
+
+// laneParamIndex returns the flattened parameter index of the declared
+// lane-index parameter (receiver excluded, matching call-argument positions),
+// or -1 when the function has none.
+func laneParamIndex(info *types.Info, fd *ast.FuncDecl) int {
+	if fd.Type.Params == nil {
+		return -1
+	}
+	i := 0
+	for _, field := range fd.Type.Params.List {
+		if len(field.Names) == 0 {
+			i++
+			continue
+		}
+		for _, name := range field.Names {
+			if laneParamNames[name.Name] {
+				if obj := info.Defs[name]; obj != nil {
+					if b, ok := obj.Type().Underlying().(*types.Basic); ok && b.Info()&types.IsInteger != 0 {
+						return i
+					}
+				}
+			}
+			i++
+		}
+	}
+	return -1
 }
 
 // laneParamObj finds the declared lane-index parameter of a function.
@@ -401,7 +479,7 @@ func (w *laneWalker) class(e ast.Expr) laneClass {
 			// named struct (lanePipe.e -> *Engine) re-enters shared territory.
 			if t := info.TypeOf(e); t != nil {
 				if p, ok := t.Underlying().(*types.Pointer); ok {
-					if named, ok := p.Elem().(*types.Named); ok && !w.c.owned[named.Obj()] && !isPacketNamed(named) {
+					if named, ok := p.Elem().(*types.Named); ok && !w.c.isOwned(named.Obj()) && !isPacketNamed(named) {
 						if _, isStruct := named.Underlying().(*types.Struct); isStruct {
 							return classShared
 						}
@@ -442,7 +520,7 @@ func (w *laneWalker) paramClass(obj types.Object) laneClass {
 		t = p.Elem()
 	}
 	if named, ok := t.(*types.Named); ok {
-		if w.c.owned[named.Obj()] {
+		if w.c.isOwned(named.Obj()) {
 			return classLaneLocal
 		}
 		if isPacketNamed(named) {
@@ -471,7 +549,7 @@ func (w *laneWalker) paramClass(obj types.Object) laneClass {
 func (w *laneWalker) elemLaneOwned(t types.Type) bool {
 	for t != nil {
 		if named, ok := t.(*types.Named); ok {
-			if w.c.owned[named.Obj()] {
+			if w.c.isOwned(named.Obj()) {
 				return true
 			}
 		}
@@ -557,9 +635,30 @@ func (w *laneWalker) walk() {
 				}
 			}
 			w.checkRand(x)
+			w.checkLaneHandoff(x)
 		}
 		return true
 	})
+}
+
+// checkLaneHandoff flags a static call from lane-reachable code to an
+// imported lane entry point whose lane argument is not this lane's index:
+// the callee selects a shard with it, so anything else crosses lanes.
+func (w *laneWalker) checkLaneHandoff(call *ast.CallExpr) {
+	fn := calleeFunc(w.c.pass.TypesInfo, call)
+	if fn == nil || fn.Pkg() == nil || fn.Pkg() == w.c.pass.Pkg {
+		return
+	}
+	var ef LaneEntryFact
+	if !w.c.pass.ImportObjectFact(fn, &ef) || ef.LaneParam < 0 || ef.LaneParam >= len(call.Args) {
+		return
+	}
+	arg := call.Args[ef.LaneParam]
+	if w.isLaneIndex(arg) {
+		return
+	}
+	w.reportf(call.Pos(), "cross-lane handoff: %s.%s is a lane entry point but %s is not this lane's index",
+		fn.Pkg().Name(), fn.Name(), exprString(arg))
 }
 
 // checkWrite flags a write whose destination chain roots in shared state.

@@ -28,9 +28,22 @@
 //     draws from a shared sim.Rand are diagnostics.
 //   - poolcheck: pool lifecycle — use-after-Release/Put, double release,
 //     and references escaping after the release point.
+//   - statecheck: every switch over a //tspuvet:closedenum type must
+//     enumerate all members or justify its default with
+//     //tspuvet:allow statecheck: <reason>.
 //   - allowdirective: validates //tspuvet:allow suppression directives; a
 //     malformed directive, an unknown analyzer name, or (via Suppress) a
 //     directive that no longer suppresses anything is itself a diagnostic.
+//
+// The suite is whole-program: analyzers export facts about package objects
+// (ImpureFact, AllocFact, RetainsFact, LaneOwnedFact, LaneEntryFact,
+// EnumFact) that the driver threads through packages in dependency order —
+// in memory when tspu-vet runs standalone, through .vetx files when it runs
+// as a go vet -vettool. Transitive wall-clock and RNG use, cross-package
+// packet retention, allocation chains that cross package seams, lane
+// contracts on imported shard state, and enum exhaustiveness away from the
+// declaring package are all diagnosed at the first call site in checked
+// code, with the full reached-via chain.
 //
 // Exceptions are declared inline, next to the code they excuse:
 //
@@ -55,7 +68,7 @@ import (
 
 // Analyzers returns the full suite in stable order.
 func Analyzers() []*analysis.Analyzer {
-	return []*analysis.Analyzer{Walltime, Globalrand, Maporder, Hotpath, Synccheck, Retaincheck, Lanecheck, Poolcheck, Allowdirective}
+	return []*analysis.Analyzer{Walltime, Globalrand, Maporder, Hotpath, Synccheck, Retaincheck, Lanecheck, Poolcheck, Statecheck, Allowdirective}
 }
 
 // Suppressible names the analyzers a //tspuvet:allow directive may target.
@@ -70,10 +83,11 @@ var Suppressible = map[string]bool{
 	"retaincheck": true,
 	"lanecheck":   true,
 	"poolcheck":   true,
+	"statecheck":  true,
 }
 
 // suppressibleNames is the sorted human-readable list for diagnostics.
-const suppressibleNames = "globalrand, hotpath, lanecheck, maporder, poolcheck, retaincheck, synccheck, walltime"
+const suppressibleNames = "globalrand, hotpath, lanecheck, maporder, poolcheck, retaincheck, statecheck, synccheck, walltime"
 
 const directivePrefix = "//tspuvet:"
 
@@ -115,6 +129,18 @@ func ParseDirectives(fset *token.FileSet, file *ast.File, report func(analysis.D
 				// (attachment to the right declaration kind).
 				continue
 			}
+			if verb == "impure" {
+				// Purity stamps are validated by the walltime analyzer
+				// (attachment to a function declaration, reason present) and
+				// consumed by both purity analyzers; they are declarations,
+				// not suppressions, so Suppress never sees them.
+				continue
+			}
+			if verb == "closedenum" {
+				// Closed-enum markers are validated by the statecheck
+				// analyzer (attachment to an enum type declaration).
+				continue
+			}
 			if verb == "retains" {
 				// A deliberate packet-retention site: sugar for a retaincheck
 				// suppression, so the used/unused bookkeeping in Suppress
@@ -139,7 +165,8 @@ func ParseDirectives(fset *token.FileSet, file *ast.File, report func(analysis.D
 				report(analysis.Diagnostic{Pos: c.Pos(), Message: fmt.Sprintf(
 					"unknown tspuvet directive %q (recognized: //tspuvet:allow <analyzer>: <reason>, "+
 						"//tspuvet:retains <reason>, //tspuvet:hotpath, //tspuvet:coldpath <reason>, "+
-						"//tspuvet:lane, //tspuvet:laneowned)", verb)})
+						"//tspuvet:lane, //tspuvet:laneowned, //tspuvet:impure <reason>, "+
+						"//tspuvet:closedenum)", verb)})
 				continue
 			}
 			name, reason, ok := strings.Cut(rest, ":")

@@ -1,0 +1,245 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"tspusim/internal/lint/analysis"
+)
+
+// ImpureFact marks a package-level function that transitively reaches wall
+// clock or ambient randomness — the two ways experiment output stops being a
+// pure function of the lab seed. The walltime and globalrand analyzers each
+// export their own ImpureFact stream (the fact store namespaces by analyzer),
+// so "reaches time.Now" and "reaches math/rand" taint independently.
+//
+// Chain records how: the function's own qualified name first, then one callee
+// per hop, ending at the banned operation (or at a //tspuvet:impure stamp,
+// whose declared reason becomes Reason). Dependent packages extend the chain
+// by prepending themselves, so a diagnostic three package seams away still
+// names the original time.Now.
+type ImpureFact struct {
+	Reason string   `json:"reason"`
+	Chain  []string `json:"chain"`
+}
+
+// AFact marks ImpureFact as a serializable analysis fact.
+func (*ImpureFact) AFact() {}
+
+const impureVerb = "impure"
+
+// impureMarkerOf parses a //tspuvet:impure comment, returning its reason.
+func impureMarkerOf(c *ast.Comment) (reason string, ok bool) {
+	if !strings.HasPrefix(c.Text, directivePrefix) {
+		return "", false
+	}
+	body := strings.TrimPrefix(c.Text, directivePrefix)
+	// A later "//" ends the marker, mirroring ParseDirectives.
+	if i := strings.Index(body, "//"); i >= 0 {
+		body = strings.TrimSpace(body[:i])
+	}
+	verb, rest, _ := strings.Cut(body, " ")
+	if verb != impureVerb {
+		return "", false
+	}
+	return strings.TrimSpace(rest), true
+}
+
+// purityNode is one package-level function in the purity call graph.
+type purityNode struct {
+	fn      *types.Func
+	decl    *ast.FuncDecl
+	name    string // qualified display name: "fleet.Runner.runJob"
+	fact    *ImpureFact
+	stamped bool
+	edges   []*purityNode // same-package static callees, source order
+}
+
+// importedImpureCall is one call site whose static callee lives in another
+// package and carries an ImpureFact there.
+type importedImpureCall struct {
+	node *purityNode
+	pos  token.Pos
+	fact *ImpureFact
+}
+
+// purityRun is the transitive half shared by walltime and globalrand: given
+// each analyzer's own direct sites, it parses //tspuvet:impure stamps, builds
+// the package call graph, imports dependency facts, propagates the taint, and
+// reports cross-package calls into tainted code.
+type purityRun struct {
+	pass *analysis.Pass
+	// what names the taint in diagnostics ("wall-clock time").
+	what string
+	// advice closes the diagnostic with the analyzer's fix.
+	advice string
+	// validateStamps: exactly one analyzer (walltime) owns //tspuvet:impure
+	// attachment and reason validation, so the suite reports each problem once.
+	validateStamps bool
+	// stampAsserts: for walltime the stamp is an assertion — a stamped
+	// function is impure even before the analyzer can see why, which is what
+	// lets cmd-layer mains terminate every chain. globalrand only lets the
+	// stamp silence diagnostics.
+	stampAsserts bool
+}
+
+// run executes the transitive analysis. direct maps function declarations
+// with a direct banned operation in their body to that operation's label
+// ("time.Now"); the caller has already reported those sites positionally.
+func (pr *purityRun) run(direct map[*ast.FuncDecl]string) {
+	pass := pr.pass
+
+	// Collect package-level functions, in source order.
+	// Declarations are keyed by file AND line: packages hold many files, and
+	// line numbers alone collide across them (a test file's declaration at
+	// line 63 must not steal a stamp aimed at fleet.go's line 63).
+	type fileLine struct {
+		file string
+		line int
+	}
+	var order []*purityNode
+	nodes := map[*types.Func]*purityNode{}
+	byLine := map[fileLine]*purityNode{}
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			fn, ok := pass.TypesInfo.Defs[fd.Name].(*types.Func)
+			if !ok {
+				continue
+			}
+			n := &purityNode{fn: fn, decl: fd, name: pass.Pkg.Name() + "." + funcDisplayName(fd)}
+			nodes[fn] = n
+			order = append(order, n)
+			pos := pass.Fset.Position(fd.Pos())
+			byLine[fileLine{pos.Filename, pos.Line}] = n
+		}
+	}
+
+	// Attach //tspuvet:impure stamps: a stamp binds to the function declared
+	// on its own line or the line below (the usual directive placement).
+	for _, f := range pass.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				reason, ok := impureMarkerOf(c)
+				if !ok {
+					continue
+				}
+				pos := pass.Fset.Position(c.Pos())
+				n := byLine[fileLine{pos.Filename, pos.Line}]
+				if n == nil {
+					n = byLine[fileLine{pos.Filename, pos.Line + 1}]
+				}
+				if n == nil {
+					if pr.validateStamps {
+						pass.Reportf(c.Pos(), "//tspuvet:impure must be the doc comment of a function declaration")
+					}
+					continue
+				}
+				if reason == "" {
+					if pr.validateStamps {
+						pass.Reportf(c.Pos(), "//tspuvet:impure on %s is missing a reason: declaring a function "+
+							"off the determinism contract must explain itself", n.name)
+					}
+					continue
+				}
+				n.stamped = true
+				if pr.stampAsserts {
+					n.fact = &ImpureFact{Reason: reason, Chain: []string{n.name}}
+				}
+			}
+		}
+	}
+
+	// Seed direct sites. A stamp's declared reason wins over the raw site
+	// label — the human explanation is the better chain terminus.
+	for fd, site := range direct {
+		fn, ok := pass.TypesInfo.Defs[fd.Name].(*types.Func)
+		if !ok {
+			continue
+		}
+		n := nodes[fn]
+		if n == nil || n.fact != nil {
+			continue
+		}
+		n.fact = &ImpureFact{Reason: site, Chain: []string{n.name, site}}
+	}
+
+	if !pass.FactsEnabled() {
+		// Per-package mode: direct sites were already reported; there is no
+		// store to propagate through.
+		return
+	}
+
+	// Call graph edges plus cross-package fact imports, in source order.
+	var imported []importedImpureCall
+	for _, n := range order {
+		seen := map[*purityNode]bool{}
+		ast.Inspect(n.decl.Body, func(x ast.Node) bool {
+			call, ok := x.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			callee := calleeFunc(pass.TypesInfo, call)
+			if callee == nil || callee.Pkg() == nil {
+				return true
+			}
+			if callee.Pkg() == pass.Pkg {
+				if target := nodes[callee]; target != nil && !seen[target] {
+					seen[target] = true
+					n.edges = append(n.edges, target)
+				}
+				return true
+			}
+			var fact ImpureFact
+			if pass.ImportObjectFact(callee, &fact) {
+				imported = append(imported, importedImpureCall{node: n, pos: call.Pos(), fact: &fact})
+				if n.fact == nil {
+					n.fact = &ImpureFact{Reason: fact.Reason, Chain: append([]string{n.name}, fact.Chain...)}
+				}
+			}
+			return true
+		})
+	}
+
+	// Propagate within the package to a fixed point. Iterating in source
+	// order and never replacing an assigned fact keeps chains deterministic
+	// and terminates on call cycles.
+	for changed := true; changed; {
+		changed = false
+		for _, n := range order {
+			if n.fact != nil {
+				continue
+			}
+			for _, callee := range n.edges {
+				if callee.fact != nil {
+					n.fact = &ImpureFact{Reason: callee.fact.Reason, Chain: append([]string{n.name}, callee.fact.Chain...)}
+					changed = true
+					break
+				}
+			}
+		}
+	}
+
+	// A cross-package call into tainted code is the diagnostic; same-package
+	// propagation stays silent because the direct site already reported
+	// locally. Stamped functions have declared themselves impure — their
+	// callers inherit the fact and the conversation moves one frame up.
+	for _, ic := range imported {
+		if ic.node.stamped {
+			continue
+		}
+		pass.Reportf(ic.pos, "call to %s reaches %s (reached via %s); %s",
+			ic.fact.Chain[0], pr.what, strings.Join(ic.fact.Chain, " → "), pr.advice)
+	}
+
+	for _, n := range order {
+		if n.fact != nil {
+			pass.ExportObjectFact(n.fn, n.fact)
+		}
+	}
+}

@@ -38,17 +38,43 @@ import (
 //     retaining, exactly like //tspuvet:allow.
 //
 // The analysis is flow-insensitive within a function (a variable once tainted
-// stays tainted) and per-package like the rest of tspu-vet: cross-package
-// calls are boundaries, which is sound here because packet ownership is
-// handed off at exactly those boundaries (transmit, deliver, Handle) and each
-// receiving package's own roots re-establish the taint.
+// stays tainted). Within a package it is interprocedural; across packages it
+// exchanges RetainsFacts: every function whose packet parameters can reach an
+// outliving store exports the fact — including deliberate, annotated
+// retention sites, because a //tspuvet:retains inside a helper package
+// excuses the helper's own store, not the cross-package callers handing
+// packets in. A caller passing tainted memory to an imported fact-bearing
+// function inherits the diagnostic (and the fact), with the callee's chain
+// spliced in; it can declare its own deliberate hand-off with
+// //tspuvet:retains at the call line. Before facts, cross-package calls were
+// unchecked boundaries justified by "ownership is handed off at exactly
+// those boundaries" — an assumption, now a checked property. The only
+// remaining heuristic is result taint: a cross-package call with tainted
+// operands returns tainted memory whenever its result type can carry a
+// reference.
 var Retaincheck = &analysis.Analyzer{
 	Name: "retaincheck",
 	Doc: "forbid storing a *packet.Packet parameter (or payload-derived " +
-		"slices) anywhere that outlives the call, unless cloned first or " +
-		"annotated //tspuvet:retains <reason>",
-	Run: runRetaincheck,
+		"slices) anywhere that outlives the call — across package seams via " +
+		"RetainsFacts — unless cloned first or annotated //tspuvet:retains <reason>",
+	Run:       runRetaincheck,
+	FactTypes: []analysis.Fact{(*RetainsFact)(nil)},
 }
+
+// RetainsFact marks a function that can retain packet-aliasing memory
+// reaching it through its parameters or receiver: somewhere in it (or in a
+// same-package callee, per Chain) a tainted value hits a store that outlives
+// the call. What describes that store; Chain walks from the function down to
+// the site, one qualified function per hop. Deliberate annotated retention
+// exports the fact too — that is the point: the annotation excuses the site,
+// not the callers feeding it.
+type RetainsFact struct {
+	What  string   `json:"what"`
+	Chain []string `json:"chain"`
+}
+
+// AFact marks RetainsFact as a serializable analysis fact.
+func (*RetainsFact) AFact() {}
 
 // retainCopyNames are callees whose result (or destination argument) is a
 // fresh copy of the packet bytes rather than an alias.
@@ -66,6 +92,7 @@ func runRetaincheck(pass *analysis.Pass) (any, error) {
 		decls:    map[*types.Func]*ast.FuncDecl{},
 		memo:     map[retainKey]*retainSummary{},
 		reported: map[string]bool{},
+		facts:    map[*types.Func]*RetainsFact{},
 	}
 	var order []*ast.FuncDecl
 	for _, f := range pass.Files {
@@ -84,7 +111,17 @@ func runRetaincheck(pass *analysis.Pass) (any, error) {
 		fn := pass.TypesInfo.Defs[fd.Name].(*types.Func)
 		mask := c.packetMask(fd)
 		if mask != 0 {
+			c.currentRoot = fn
 			c.analyze(fn, fd, mask, nil)
+		}
+	}
+	c.currentRoot = nil
+	if pass.FactsEnabled() {
+		for _, fd := range order {
+			fn := pass.TypesInfo.Defs[fd.Name].(*types.Func)
+			if f := c.facts[fn]; f != nil {
+				pass.ExportObjectFact(fn, f)
+			}
 		}
 	}
 	return nil, nil
@@ -108,6 +145,25 @@ type retainChecker struct {
 	decls    map[*types.Func]*ast.FuncDecl
 	memo     map[retainKey]*retainSummary
 	reported map[string]bool
+	// currentRoot is the taint root whose analysis is in flight, so transitive
+	// retention found in a same-package helper also attaches to the root.
+	currentRoot *types.Func
+	// facts accumulates one RetainsFact per retaining function, exported after
+	// the root loop (before Suppress runs, so annotated sites still export).
+	facts map[*types.Func]*RetainsFact
+}
+
+// noteRetention records fn's first retention event as its RetainsFact, with
+// the chain elements qualified by package name for cross-package diagnostics.
+func (c *retainChecker) noteRetention(fn *types.Func, chain []string, msg string) {
+	if fn == nil || c.facts[fn] != nil {
+		return
+	}
+	q := make([]string, len(chain))
+	for i, el := range chain {
+		q[i] = c.pass.Pkg.Name() + "." + el
+	}
+	c.facts[fn] = &RetainsFact{What: msg, Chain: q}
 }
 
 // packetMask returns the taint mask seeded by packet-typed parameters: bit 0
@@ -499,11 +555,23 @@ func (s *retainScope) taintedCall(call *ast.CallExpr) bool {
 			return sum.returnsTaint
 		}
 	}
-	// Cross-package or dynamic: results alias iff an operand was tainted and
-	// the results can carry references (tlsx.ExtractSNI, pkt.AppPayload).
 	if !anyTainted {
 		return false
 	}
+	// Cross-package with taint on the wire: a RetainsFact on the callee means
+	// the handed-off memory hits a store that outlives this call too.
+	if fn != nil && fn.Pkg() != nil && fn.Pkg() != s.c.pass.Pkg {
+		var rf RetainsFact
+		if s.c.pass.ImportObjectFact(fn, &rf) && len(rf.Chain) > 0 {
+			desc := rf.What
+			if len(rf.Chain) > 1 {
+				desc += ", reached via " + strings.Join(rf.Chain, " → ")
+			}
+			s.reportf(call.Pos(), "packet-aliasing value passed to %s, which retains it (in the callee: %s)", rf.Chain[0], desc)
+		}
+	}
+	// Otherwise dynamic or fact-free: results alias iff an operand was tainted
+	// and the results can carry references (tlsx.ExtractSNI, pkt.AppPayload).
 	return canCarryRef(info.TypeOf(call))
 }
 
@@ -758,6 +826,16 @@ func (s *retainScope) returnsTaint() bool {
 
 func (s *retainScope) reportf(pos token.Pos, format string, args ...any) {
 	msg := fmt.Sprintf(format, args...)
+	// Facts record before dedup: a second root reaching an already-reported
+	// site still owns the retention and must export its own fact. The scope's
+	// function retains directly (its params reach the store); the in-flight
+	// root retains transitively through the chain.
+	if fn, ok := s.info().Defs[s.fd.Name].(*types.Func); ok {
+		s.c.noteRetention(fn, s.chain[len(s.chain)-1:], msg)
+	}
+	if len(s.chain) > 1 {
+		s.c.noteRetention(s.c.currentRoot, s.chain, msg)
+	}
 	// Dedupe on the chain-free message: a helper that is both a root and
 	// reachable from another root reports once, with the first chain found.
 	key := fmt.Sprintf("%d|%s", pos, msg)

@@ -1,0 +1,18 @@
+// Package allocutil is the dependency side of the hotpath-facts fixture: a
+// package with no hot-path markers of its own, so per-package analysis never
+// looks at it. With facts enabled every function is probed anyway and the
+// allocation becomes an AllocFact for hot callers elsewhere.
+package allocutil
+
+import "fmt"
+
+// Label renders a per-item tag. Allocating is fine here — nothing in this
+// package is hot — but the fact carries the cost to any hot caller.
+func Label(n int) string {
+	return fmt.Sprintf("n=%d", n)
+}
+
+// Wrap adds one same-package hop so the exported fact's chain has depth.
+func Wrap(n int) string {
+	return Label(n)
+}

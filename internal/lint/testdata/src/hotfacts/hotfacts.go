@@ -1,0 +1,17 @@
+// Package hotfacts is the consumer side of the hotpath-facts fixture: hot
+// functions whose only allocations happen inside an imported helper,
+// invisible to per-package analysis and diagnosed through AllocFacts with
+// the callee's own chain spliced into the message.
+package hotfacts
+
+import "hotfacts/allocutil"
+
+//tspuvet:hotpath
+func PerPacket(n int) string {
+	return allocutil.Label(n) // want `call to allocutil.Label allocates: fmt.Sprintf`
+}
+
+//tspuvet:hotpath
+func PerBatch(n int) string {
+	return allocutil.Wrap(n) // want `call to allocutil.Wrap allocates: .* \(in the callee via allocutil.Wrap → allocutil.Label\)`
+}

@@ -1,0 +1,23 @@
+// Package clockutil is the dependency side of the purity-facts fixture: a
+// helper package whose wall-clock read is wrapped behind an innocent-looking
+// exported function. The direct diagnostic lands here; the ImpureFact makes
+// every cross-package caller answerable for it too.
+package clockutil
+
+import "time"
+
+// epoch pins the fixture's reference instant.
+var epoch = time.Unix(0, 0)
+
+// stamp reads the ambient wall clock: the direct diagnostic lands here and
+// seeds the ImpureFact that follows the call graph upward.
+func stamp() time.Time {
+	return time.Now() // want `time.Now is wall-clock time`
+}
+
+// Elapsed is the transitively impure exported API: it has no banned call of
+// its own, only a fact whose chain walks stamp → time.Now. Same-package
+// propagation is silent by design.
+func Elapsed() float64 {
+	return stamp().Sub(epoch).Seconds()
+}

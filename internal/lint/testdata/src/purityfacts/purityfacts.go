@@ -1,0 +1,21 @@
+// Package purityfacts is the consumer side of the purity-facts fixture:
+// per-package analysis sees nothing wrong with these calls — the wall-clock
+// read is two hops away in clockutil — so every diagnostic here exists only
+// because the ImpureFact crossed the package seam.
+package purityfacts
+
+import "purityfacts/clockutil"
+
+// Step is simulation-side code: calling the transitively impure helper is a
+// diagnostic carrying the full cross-package chain.
+func Step() float64 {
+	return clockutil.Elapsed() // want `call to clockutil.Elapsed reaches wall-clock time \(reached via clockutil.Elapsed → clockutil.stamp → time.Now\)`
+}
+
+// Report is declared orchestration code: the stamp silences the transitive
+// diagnostic inside and re-exports the impurity to Report's own callers.
+//
+//tspuvet:impure fixture: progress metrics only, never experiment output
+func Report() float64 {
+	return clockutil.Elapsed()
+}

@@ -1,0 +1,27 @@
+// Package retainfacts is the consumer side of the retain-facts fixture: a
+// middlebox-shaped function that forwards its packet into a helper package.
+// Per-package analysis treated that call as an ownership boundary; the
+// RetainsFact makes the helper's store the caller's problem too.
+package retainfacts
+
+import (
+	"tspusim/internal/packet"
+
+	"retainfacts/stash"
+)
+
+// Forward hands the live packet to the annotated parking lot: the callee's
+// own site is excused, the cross-package handoff is not.
+func Forward(p *packet.Packet) {
+	stash.Keep(p) // want `packet-aliasing value passed to stash.Keep, which retains it`
+}
+
+// Observe hands a payload-derived slice to the unannotated helper.
+func Observe(p *packet.Packet) {
+	stash.Remember(p) // want `packet-aliasing value passed to stash.Remember, which retains it`
+}
+
+// CloneAndKeep launders the packet first: fresh memory, no diagnostic.
+func CloneAndKeep(p *packet.Packet) {
+	stash.Keep(p.Clone())
+}

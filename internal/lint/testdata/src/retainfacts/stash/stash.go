@@ -1,0 +1,27 @@
+// Package stash is the dependency side of the retain-facts fixture: a helper
+// package that parks a forwarded packet in package state. The site itself is
+// deliberate and annotated — which excuses the store here but still exports
+// the RetainsFact, because the annotation cannot speak for cross-package
+// callers handing packets in.
+package stash
+
+import "tspusim/internal/packet"
+
+// held is the parking lot the fixture retains into.
+var held *packet.Packet
+
+// lastPayload aliases the most recent packet's payload bytes.
+var lastPayload []byte
+
+// Keep parks the live packet past its own return. Annotated: the raw
+// analyzer still sees the store (suppression is the driver's job), and the
+// fact exports regardless.
+func Keep(p *packet.Packet) {
+	held = p //tspuvet:retains fixture: parking lot drained on the next tick // want `packet-aliasing value stored in package variable held`
+}
+
+// Remember aliases the payload rather than the packet itself; unannotated,
+// so this is the plain true positive and the fact's What describes it.
+func Remember(p *packet.Packet) {
+	lastPayload = p.TCP.Payload // want `packet-aliasing value stored in package variable lastPayload`
+}

@@ -1,0 +1,100 @@
+// Package statecheck is the same-package golden fixture for the closed-enum
+// exhaustiveness analyzer: marker validation, member collection with value
+// aliases, and the two diagnostic shapes (missing case, hiding default).
+package statecheck
+
+// Phase is a closed state machine with an alias member: Final names the same
+// value as Done, so a switch covering either covers both.
+//
+//tspuvet:closedenum
+type Phase int
+
+// Phases.
+const (
+	Idle Phase = iota
+	Busy
+	Done
+	Final = Done
+)
+
+// Unmarked is an ordinary enum-looking type; switches over it are free.
+type Unmarked int
+
+// Unmarked members.
+const (
+	UA Unmarked = iota
+	UB
+)
+
+// Exhaustive covers every member; Final is an alias of Done, so this is
+// total.
+func Exhaustive(p Phase) string {
+	switch p {
+	case Idle:
+		return "idle"
+	case Busy:
+		return "busy"
+	case Final:
+		return "done"
+	}
+	return ""
+}
+
+// MissingCase drops Done and has no default.
+func MissingCase(p Phase) string {
+	switch p { // want `switch over closed enum Phase does not handle Done`
+	case Idle:
+		return "idle"
+	case Busy:
+		return "busy"
+	}
+	return ""
+}
+
+// HidingDefault routes two members through a bare default.
+func HidingDefault(p Phase) string {
+	switch p {
+	case Idle:
+		return "idle"
+	default: // want `default in a switch over closed enum Phase hides unhandled Busy, Done`
+		return "other"
+	}
+}
+
+// ExhaustiveWithDefault is total and keeps a defensive default: fine.
+func ExhaustiveWithDefault(p Phase) string {
+	switch p {
+	case Idle, Busy, Done:
+		return "known"
+	default:
+		return "impossible"
+	}
+}
+
+// DynamicCase dispatches on a non-constant expression: membership is
+// undecidable, so the switch is skipped.
+func DynamicCase(p, q Phase) string {
+	switch p {
+	case q:
+		return "same"
+	}
+	return "different"
+}
+
+// FreeSwitch ranges over an unmarked type: no contract, no diagnostics.
+func FreeSwitch(u Unmarked) string {
+	switch u {
+	case UA:
+		return "a"
+	default:
+		return "other"
+	}
+}
+
+//tspuvet:closedenum // want `//tspuvet:closedenum must be the doc comment of a type declaration`
+var notAType int
+
+// Hollow is marked closed but has no constant members.
+//
+//tspuvet:closedenum
+type Hollow int // want `no package-level constants of this type`

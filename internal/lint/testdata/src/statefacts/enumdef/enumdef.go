@@ -1,0 +1,16 @@
+// Package enumdef is the dependency side of the statecheck-facts fixture:
+// it declares the closed enum whose membership travels to consuming
+// packages as an EnumFact.
+package enumdef
+
+// Kind is a tiny closed verdict enum.
+//
+//tspuvet:closedenum
+type Kind int
+
+// Kinds.
+const (
+	Accept Kind = iota
+	Drop
+	Rewrite
+)

@@ -1,0 +1,40 @@
+// Package statefacts is the consumer side of the statecheck-facts fixture:
+// switches over an imported closed enum, held to the declaring package's
+// contract through the EnumFact.
+package statefacts
+
+import "statefacts/enumdef"
+
+// Total enumerates every imported member: clean.
+func Total(k enumdef.Kind) string {
+	switch k {
+	case enumdef.Accept:
+		return "accept"
+	case enumdef.Drop:
+		return "drop"
+	case enumdef.Rewrite:
+		return "rewrite"
+	}
+	return ""
+}
+
+// MissingCase drops Rewrite with no default.
+func MissingCase(k enumdef.Kind) string {
+	switch k { // want `switch over closed enum enumdef.Kind does not handle Rewrite`
+	case enumdef.Accept:
+		return "accept"
+	case enumdef.Drop:
+		return "drop"
+	}
+	return ""
+}
+
+// HidingDefault hides two imported members behind a bare default.
+func HidingDefault(k enumdef.Kind) string {
+	switch k {
+	case enumdef.Accept:
+		return "accept"
+	default: // want `default in a switch over closed enum enumdef.Kind hides unhandled Drop, Rewrite`
+		return "other"
+	}
+}

@@ -61,6 +61,7 @@ func Reliability(lab *topo.Lab, trials int) *ReliabilityResult {
 // trialBlocked runs one censorship attempt and reports whether the TSPU
 // blocked it.
 func trialBlocked(lab *topo.Lab, v *topo.Vantage, typ tspu.BlockType, us2 *hostnet.Listener) bool {
+	//tspuvet:allow statecheck: SNI3 throttling is not a binary blocked/unblocked verdict; Table 4 reliability covers only ReliabilityTypes
 	switch typ {
 	case tspu.SNI1:
 		conn := v.Stack.Dial(lab.US1.Addr(), 443, hostnet.DialOptions{})

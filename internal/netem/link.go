@@ -9,6 +9,8 @@ import (
 
 // Direction is the travel direction of a packet over a link, expressed in
 // the link's own A→B frame.
+//
+//tspuvet:closedenum
 type Direction int
 
 // Link directions.
@@ -33,6 +35,8 @@ func (d Direction) Reverse() Direction {
 }
 
 // Action is a middlebox verdict for one packet, in the XDP style.
+//
+//tspuvet:closedenum
 type Action int
 
 // Verdicts.

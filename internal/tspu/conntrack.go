@@ -28,6 +28,8 @@ func (o Origin) String() string {
 // ConnState is the TSPU's connection-tracking state. Timeouts for these
 // states were measured in §5.3.3 (Table 2) and do not match any documented
 // OS conntrack implementation (Table 7).
+//
+//tspuvet:closedenum
 type ConnState int
 
 // Connection-tracking states.
@@ -82,7 +84,7 @@ func (t StateTimeouts) forState(s ConnState) time.Duration {
 		return t.SynSent
 	case CTSynRecv:
 		return t.SynRecv
-	default:
+	default: //tspuvet:allow statecheck: CTEstablished and any unmodeled state age out on the established timeout
 		return t.Established
 	}
 }
@@ -97,7 +99,7 @@ func (t StateTimeouts) forBlock(b BlockType) time.Duration {
 		return t.SNI4
 	case QUICBlock:
 		return t.QUIC
-	default:
+	default: //tspuvet:allow statecheck: SNI3 and IPBlock holds have no measured timeout in Table 2; they age on the established timeout
 		return t.Established
 	}
 }

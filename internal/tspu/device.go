@@ -545,6 +545,7 @@ func (d *Device) classifySNI(e *flowEntry, pkt *packet.Packet, ln *devLane) (Cla
 			acc = acc[:4096]
 		}
 		ln.reasm[e.key] = acc
+		//tspuvet:allow hotpath: the ReassembleTCP ablation deep-parses the stream prefix every packet; its malformed-input error path allocates by design and the ablation is measured separately from the production fast path
 		if info, err := tlsx.ParseClientHelloDeep(acc); err == nil && info.ServerName != "" {
 			return d.policy.Classify(info.ServerName), true
 		}
@@ -588,6 +589,7 @@ func (d *Device) slowExtractSNI(pkt *packet.Packet) (string, bool) {
 
 // applyBlock enforces an installed blocking state on one packet.
 func (d *Device) applyBlock(e *flowEntry, b *blockState, pkt *packet.Packet, dir netem.Direction, ln *devLane, now time.Duration) netem.Action {
+	//tspuvet:allow statecheck: IPBlock never installs a flow blockState; prefix enforcement happens in handleIPBlock before conntrack blocks
 	switch b.typ {
 	case SNI1:
 		// Acts only on downstream (remote→local) packets: truncate payload,

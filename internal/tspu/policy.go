@@ -24,6 +24,8 @@ import (
 )
 
 // BlockType enumerates the paper's six blocking behaviors.
+//
+//tspuvet:closedenum
 type BlockType int
 
 // Blocking behaviors (§5.2).

@@ -62,6 +62,8 @@ type Experiment struct {
 
 // Experiments returns the full per-experiment index of DESIGN.md, keyed and
 // ordered by ID.
+//
+//tspuvet:impure the armsrace experiment's inner fleet reads wall time for worker metrics; every rendered artifact is seed-pure
 func Experiments() []Experiment {
 	exps := []Experiment{
 		{
